@@ -1,0 +1,168 @@
+"""Ordering of the sources of an optimized d-graph.
+
+Some relations must be accessed before others: an arc ``u → v`` says that
+``v``'s source consumes values produced by ``u``'s source.  Section IV of the
+paper derives, from the optimized d-graph, an ordering constraint system:
+
+* a weak arc ``u → v`` imposes ``src(u) ⪯ src(v)``;
+* a strong arc ``u → v`` imposes ``src(u) ≺ src(v)``;
+* sources traversed by a cyclic d-path share the same order; all sources
+  outside the cycle get distinct orders.
+
+Operationally the sources are grouped by the strongly connected components of
+the source-level constraint graph, the condensation is topologically sorted,
+and each group receives a position ``pos(s) ∈ {1, ..., k}``.  A ∀-minimal
+query plan exists iff exactly one ordering is possible, i.e. iff the
+condensation has a unique topological order.
+
+When several orderings are possible, the paper suggests the heuristic of
+placing sources involved in more joins first (they are more likely to make
+the fast-failing test fail early); this is implemented as a tie-break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import OrderingError
+from repro.graph.dgraph import Source
+from repro.graph.gfp import ArcMark, OptimizedDependencyGraph
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.util.algorithms import (
+    condensation,
+    has_unique_topological_order,
+)
+
+
+@dataclass(frozen=True)
+class SourceOrdering:
+    """The positions assigned to the sources of an optimized d-graph.
+
+    Attributes:
+        positions: ``{source_id: position}`` with positions in ``1..k``.
+        groups: the source ids of each position, in position order (sources
+            sharing a position belong to a cyclic d-path).
+        is_unique: True when the ordering constraints admit exactly one
+            ordering — the condition under which a ∀-minimal plan exists.
+    """
+
+    positions: Dict[str, int]
+    groups: Tuple[Tuple[str, ...], ...]
+    is_unique: bool
+
+    @property
+    def number_of_positions(self) -> int:
+        return len(self.groups)
+
+    def position_of(self, source_id: str) -> int:
+        return self.positions[source_id]
+
+    def sources_at(self, position: int) -> Tuple[str, ...]:
+        return self.groups[position - 1]
+
+    @property
+    def admits_forall_minimal_plan(self) -> bool:
+        """A ∀-minimal plan exists iff the ordering is unique (Section IV)."""
+        return self.is_unique
+
+    def __str__(self) -> str:
+        rendered = " < ".join("{" + ", ".join(group) + "}" for group in self.groups)
+        return rendered or "(empty ordering)"
+
+
+def _join_count(source: Source, query: ConjunctiveQuery) -> int:
+    """Join-variable occurrences of the source's atom (0 for white sources)."""
+    if source.atom_index is None:
+        return 0
+    return query.join_count_of_atom(source.atom_index)
+
+
+def compute_ordering(
+    optimized: OptimizedDependencyGraph,
+    query: Optional[ConjunctiveQuery] = None,
+    join_first_heuristic: bool = True,
+) -> SourceOrdering:
+    """Compute a position for every source of the optimized d-graph.
+
+    Args:
+        optimized: the optimized d-graph.
+        query: the (constant-free) query, needed by the join-first heuristic;
+            defaults to the query stored in the d-graph.
+        join_first_heuristic: when several sources could take the next
+            position, prefer those whose atoms contain more join variables
+            (and break remaining ties by source id for determinism).
+
+    Raises:
+        OrderingError: if a strong arc is found inside a cycle of the
+            constraint graph (impossible for GFP solutions; kept as a guard).
+    """
+    if query is None:
+        query = optimized.graph.query
+
+    source_ids = [source.source_id for source in optimized.sources]
+    constraint_graph: Dict[str, List[str]] = {source_id: [] for source_id in source_ids}
+    strict_edges: List[Tuple[str, str]] = []
+    for arc in optimized.arcs:
+        tail_id, head_id = arc.tail.source_id, arc.head.source_id
+        if tail_id == head_id:
+            continue
+        constraint_graph[tail_id].append(head_id)
+        if optimized.mark_of(arc) is ArcMark.STRONG:
+            strict_edges.append((tail_id, head_id))
+
+    components, dag = condensation(constraint_graph)
+    component_of: Dict[str, FrozenSet[str]] = {}
+    for component in components:
+        for source_id in component:
+            component_of[source_id] = component
+
+    # Guard: a strong arc must never connect two sources of the same group.
+    for tail_id, head_id in strict_edges:
+        if component_of[tail_id] is component_of[head_id]:
+            raise OrderingError(
+                f"strong arc between {tail_id} and {head_id} lies inside a cyclic "
+                "d-path; the GFP solution should have prevented this"
+            )
+
+    # Uniqueness of the ordering (∀-minimality condition) is a property of the
+    # condensation DAG alone, independent of the tie-breaking heuristic.
+    dag_adjacency = {component: list(successors) for component, successors in dag.items()}
+    unique = has_unique_topological_order(dag_adjacency) if dag_adjacency else True
+
+    # Deterministic topological sort of the condensation with the join-first
+    # tie-break: larger join counts first, then lexicographic source id.
+    def group_key(component: FrozenSet[str]) -> Tuple[int, str]:
+        joins = max(
+            (_join_count(optimized.source(source_id), query) for source_id in component),
+            default=0,
+        )
+        smallest_id = min(component)
+        return (-joins if join_first_heuristic else 0, smallest_id)
+
+    in_degree: Dict[FrozenSet[str], int] = {component: 0 for component in components}
+    for component, successors in dag.items():
+        for successor in successors:
+            in_degree[successor] += 1
+    ready = [component for component in components if in_degree[component] == 0]
+    ordered_groups: List[FrozenSet[str]] = []
+    while ready:
+        ready.sort(key=group_key)
+        component = ready.pop(0)
+        ordered_groups.append(component)
+        for successor in dag[component]:
+            in_degree[successor] -= 1
+            if in_degree[successor] == 0:
+                ready.append(successor)
+    if len(ordered_groups) != len(components):  # pragma: no cover - cycle-free by construction
+        raise OrderingError("could not linearize the source ordering constraints")
+
+    positions: Dict[str, int] = {}
+    groups: List[Tuple[str, ...]] = []
+    for position, component in enumerate(ordered_groups, start=1):
+        members = tuple(sorted(component))
+        groups.append(members)
+        for source_id in members:
+            positions[source_id] = position
+
+    return SourceOrdering(positions=positions, groups=tuple(groups), is_unique=unique)

@@ -1,0 +1,31 @@
+"""Relational data model with abstract domains and access patterns.
+
+This package implements the preliminaries of Section II of the paper:
+
+* :class:`~repro.model.domains.AbstractDomain` — typed pools of values at a
+  higher level of abstraction than concrete types (e.g. ``Person`` vs
+  ``String``);
+* :class:`~repro.model.access.AccessPattern` — sequences of input (``i``) and
+  output (``o``) modes attached to relation schemata;
+* :class:`~repro.model.schema.RelationSchema` and
+  :class:`~repro.model.schema.Schema` — relation signatures
+  ``r^α(A1, ..., An)`` and collections thereof;
+* :class:`~repro.model.instance.RelationInstance` and
+  :class:`~repro.model.instance.DatabaseInstance` — finite sets of tuples over
+  the schemata.
+"""
+
+from repro.model.access import AccessMode, AccessPattern
+from repro.model.domains import AbstractDomain
+from repro.model.instance import DatabaseInstance, RelationInstance
+from repro.model.schema import RelationSchema, Schema
+
+__all__ = [
+    "AbstractDomain",
+    "AccessMode",
+    "AccessPattern",
+    "DatabaseInstance",
+    "RelationInstance",
+    "RelationSchema",
+    "Schema",
+]

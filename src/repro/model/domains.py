@@ -1,0 +1,44 @@
+"""Abstract domains.
+
+The paper distinguishes *abstract* domains from concrete ones: two attributes
+share values (and can therefore feed each other's input arguments) exactly
+when they have the same abstract domain, even though both may be plain
+strings at the concrete level.  Abstract domains are the glue that determines
+the arcs of the dependency graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class AbstractDomain:
+    """A named abstract domain, e.g. ``Person`` or ``SongTitle``.
+
+    Attributes:
+        name: unique name of the domain; equality and hashing are by name
+            and concrete type, so two domain objects with the same name are
+            interchangeable.
+        concrete_type: informal name of the underlying concrete type
+            (``"string"``, ``"integer"``, ...).  It plays no role in the
+            algorithms and exists only for documentation and rendering.
+    """
+
+    name: str
+    concrete_type: str = field(default="string", compare=True)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("an abstract domain must have a non-empty name")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AbstractDomain({self.name!r})"
+
+
+def domain(name: str, concrete_type: str = "string") -> AbstractDomain:
+    """Convenience factory for an :class:`AbstractDomain`."""
+    return AbstractDomain(name=name, concrete_type=concrete_type)

@@ -1,0 +1,32 @@
+"""Query plans: generation and execution.
+
+* :mod:`~repro.plan.plan` — the plan data structures (cache predicates,
+  provider specifications, the rewritten query and the Datalog rendering);
+* :mod:`~repro.plan.minimal` — generation of a ⊂-minimal plan from the
+  optimized d-graph (Section IV);
+* :mod:`~repro.plan.naive` — the naive evaluation baseline of Figure 1;
+* :mod:`~repro.plan.execution` — the fast-failing execution strategy;
+* :mod:`~repro.plan.parallel` — the distillation (parallel, incremental
+  answers) scheduler of Section V.
+"""
+
+from repro.plan.execution import ExecutionOptions, ExecutionResult, FastFailingExecutor
+from repro.plan.minimal import MinimalPlanGenerator, generate_minimal_plan
+from repro.plan.naive import NaiveEvaluationResult, NaiveEvaluator
+from repro.plan.parallel import DistillationExecutor, DistillationResult
+from repro.plan.plan import CachePredicate, ProviderSpec, QueryPlan
+
+__all__ = [
+    "CachePredicate",
+    "DistillationExecutor",
+    "DistillationResult",
+    "ExecutionOptions",
+    "ExecutionResult",
+    "FastFailingExecutor",
+    "MinimalPlanGenerator",
+    "NaiveEvaluationResult",
+    "NaiveEvaluator",
+    "ProviderSpec",
+    "QueryPlan",
+    "generate_minimal_plan",
+]

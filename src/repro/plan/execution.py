@@ -1,0 +1,253 @@
+"""The fast-failing execution strategy for minimal query plans (Section IV).
+
+The caches of the plan are populated position by position, following the
+ordering of the sources of the optimized d-graph:
+
+* before populating the caches of position ``i``, the sub-query made of the
+  atoms whose caches are already fully populated (positions ``< i``) is
+  checked for satisfiability; if it fails, the answer is certainly empty and
+  the execution stops without making any further access;
+* within a position, the cache rules are iterated to a fixpoint: an access is
+  made only when all the domain providers of the cache supply a value for
+  every input argument, and only if the same access (relation + binding) was
+  not made before — possibly on behalf of a different occurrence of the same
+  relation — which is checked against the per-relation meta-cache;
+* finally the rewritten query is evaluated over the caches.
+
+The strategy computes the same answers as the least-fixpoint semantics of the
+plan's Datalog program, never repeats an access, and stops as soon as the
+answer is known to be empty; this is what makes the plan ⊂-minimal.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ExecutionError
+from repro.plan.plan import CachePredicate, ProviderSpec, QueryPlan
+from repro.sources.access import AccessTuple
+from repro.sources.cache import CacheDatabase, CacheTable
+from repro.sources.log import AccessLog
+from repro.sources.wrapper import SourceRegistry
+
+Row = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Tuning knobs of the fast-failing executor.
+
+    Attributes:
+        fast_fail: perform the early non-emptiness test before each position.
+        use_meta_cache: never repeat an access to a relation; read repeated
+            access tuples from the meta-cache instead.
+        max_accesses: optional safety bound on the number of accesses.
+    """
+
+    fast_fail: bool = True
+    use_meta_cache: bool = True
+    max_accesses: Optional[int] = None
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of the execution of a minimal query plan.
+
+    Attributes:
+        answers: the obtainable answers to the query.
+        access_log: every access performed against the sources, in order.
+        cache_db: the final cache database (caches + meta-caches).
+        failed_fast: True when the early non-emptiness test cut the execution.
+        failed_at_position: the position at which the test failed, if any.
+        elapsed_seconds: wall-clock duration of the execution.
+        plan: the plan that was executed.
+    """
+
+    answers: FrozenSet[Row]
+    access_log: AccessLog
+    cache_db: CacheDatabase
+    failed_fast: bool
+    failed_at_position: Optional[int]
+    elapsed_seconds: float
+    plan: QueryPlan
+
+    @property
+    def total_accesses(self) -> int:
+        return self.access_log.total_accesses
+
+    def accesses_of(self, relation: str) -> int:
+        return self.access_log.accesses_of(relation)
+
+    def rows_of(self, relation: str) -> int:
+        return len(self.cache_db.extracted_rows_by_relation().get(relation, frozenset()))
+
+    def extracted_relations(self) -> List[str]:
+        return self.access_log.accessed_relations()
+
+
+class FastFailingExecutor:
+    """Executes a :class:`~repro.plan.plan.QueryPlan` with the fast-failing strategy."""
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        registry: SourceRegistry,
+        options: Optional[ExecutionOptions] = None,
+    ) -> None:
+        self.plan = plan
+        self.registry = registry
+        self.options = options or ExecutionOptions()
+
+    # ------------------------------------------------------------------------------
+    def execute(self) -> ExecutionResult:
+        """Run the plan to completion (or to an early failure)."""
+        started = time.perf_counter()
+        log = AccessLog()
+        cache_db = CacheDatabase()
+        for cache in self.plan.caches.values():
+            cache_db.create_cache(cache.name, cache.relation, cache.position)
+
+        # Artificial constant relations are populated from the plan's facts;
+        # they correspond to constants of the query and cost no access.
+        for cache in self.plan.caches.values():
+            if cache.is_artificial:
+                facts = self.plan.constant_facts.get(cache.relation.name, frozenset())
+                cache_db.cache(cache.name).add_all(facts)
+
+        failed_fast = False
+        failed_at: Optional[int] = None
+        for position in self.plan.positions():
+            if self.options.fast_fail and not self._prefix_satisfiable(position, cache_db):
+                failed_fast = True
+                failed_at = position
+                break
+            self._populate_position(position, cache_db, log)
+
+        if failed_fast:
+            answers: FrozenSet[Row] = frozenset()
+        else:
+            answers = self.plan.rewritten_query.evaluate(cache_db.contents())
+        elapsed = time.perf_counter() - started
+        return ExecutionResult(
+            answers=answers,
+            access_log=log,
+            cache_db=cache_db,
+            failed_fast=failed_fast,
+            failed_at_position=failed_at,
+            elapsed_seconds=elapsed,
+            plan=self.plan,
+        )
+
+    # ------------------------------------------------------------------------------
+    def _prefix_satisfiable(self, position: int, cache_db: CacheDatabase) -> bool:
+        """Early non-emptiness test over the already-populated caches.
+
+        Evaluates the sub-conjunction of the rewritten query restricted to the
+        atoms whose cache position is strictly smaller than ``position``; if
+        it is unsatisfiable, the whole query is certainly empty.
+        """
+        prefix_atoms = []
+        for atom_index, atom in enumerate(self.plan.rewritten_query.body):
+            cache_name = atom.predicate
+            cache = self.plan.caches.get(cache_name)
+            if cache is not None and cache.position < position:
+                prefix_atoms.append(atom)
+        if not prefix_atoms:
+            return True
+        from repro.query.evaluate import conjunction_is_satisfiable
+
+        return conjunction_is_satisfiable(prefix_atoms, cache_db.contents())
+
+    # ------------------------------------------------------------------------------
+    def _populate_position(
+        self,
+        position: int,
+        cache_db: CacheDatabase,
+        log: AccessLog,
+    ) -> None:
+        """Populate all caches of one ordering position to a fixpoint."""
+        caches = [
+            cache
+            for cache in self.plan.caches_at(position)
+            if not cache.is_artificial
+        ]
+        tried_by_cache: Dict[str, Set[Tuple[object, ...]]] = {cache.name: set() for cache in caches}
+        changed = True
+        while changed:
+            changed = False
+            for cache in caches:
+                if self._populate_cache_once(cache, cache_db, log, tried_by_cache[cache.name]):
+                    changed = True
+
+    def _populate_cache_once(
+        self,
+        cache: CachePredicate,
+        cache_db: CacheDatabase,
+        log: AccessLog,
+        tried: Set[Tuple[object, ...]],
+    ) -> bool:
+        """Issue every newly enabled access of one cache; True when anything changed."""
+        table = cache_db.cache(cache.name)
+        meta = cache_db.meta_cache(cache.relation)
+        changed = False
+        for binding in self._enabled_bindings(cache, cache_db):
+            if binding in tried:
+                continue
+            tried.add(binding)
+            rows = self._fetch(cache, binding, meta, log)
+            if table.add_all(rows):
+                changed = True
+        return changed
+
+    def _enabled_bindings(
+        self,
+        cache: CachePredicate,
+        cache_db: CacheDatabase,
+    ) -> Iterable[Tuple[object, ...]]:
+        """Bindings of the input arguments currently supplied by the providers."""
+        input_positions = cache.input_positions
+        if not input_positions:
+            return ((),)
+        value_sets: List[List[object]] = []
+        for input_position in input_positions:
+            provider = cache.provider_for(input_position)
+            values = self._provider_values(provider, cache_db)
+            if not values:
+                return ()
+            value_sets.append(sorted(values, key=repr))
+        return itertools.product(*value_sets)
+
+    def _provider_values(self, provider: ProviderSpec, cache_db: CacheDatabase) -> Set[object]:
+        """Values supplied by a domain provider (union or intersection of origins)."""
+        collected: Optional[Set[object]] = None
+        for origin_cache, origin_position in provider.origins:
+            origin_values = cache_db.cache(origin_cache).values_at(origin_position)
+            if provider.conjunctive:
+                collected = origin_values if collected is None else collected & origin_values
+            else:
+                collected = origin_values if collected is None else collected | origin_values
+        return collected or set()
+
+    def _fetch(
+        self,
+        cache: CachePredicate,
+        binding: Tuple[object, ...],
+        meta,
+        log: AccessLog,
+    ) -> FrozenSet[Row]:
+        """Fetch the rows for one access tuple, via the meta-cache when possible."""
+        if self.options.use_meta_cache and meta.has_access(binding):
+            return meta.rows_for(binding)
+        if (
+            self.options.max_accesses is not None
+            and log.total_accesses >= self.options.max_accesses
+        ):
+            raise ExecutionError(
+                f"plan execution exceeded the access budget of {self.options.max_accesses}"
+            )
+        rows = self.registry.access(cache.relation.name, binding, log)
+        meta.record(binding, rows)
+        return rows

@@ -1,0 +1,160 @@
+"""The naive evaluation baseline (Figure 1 of the paper).
+
+The algorithm of [3], reproduced in Figure 1, extracts *all* obtainable
+tuples from *all* relations of the schema, regardless of their relevance for
+the query:
+
+1. initialize a pool ``B`` of values with the constants of the query;
+2. while new accesses can be made, access every relation with every
+   combination of values of ``B`` that matches the abstract domains of its
+   input arguments, cache the retrieved tuples and pour the retrieved values
+   back into ``B``;
+3. finally evaluate the query over the cache.
+
+This is the baseline against which the optimized plans are compared in the
+experimental evaluation: it makes many accesses that are unnecessary
+(accessing relations that are irrelevant for the query, and accessing
+relevant relations with useless bindings).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.exceptions import ExecutionError
+from repro.model.domains import AbstractDomain
+from repro.model.schema import RelationSchema, Schema
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.sources.access import AccessTuple
+from repro.sources.log import AccessLog
+from repro.sources.wrapper import SourceRegistry
+
+Row = Tuple[object, ...]
+
+
+@dataclass
+class NaiveEvaluationResult:
+    """Outcome of the naive evaluation of a query.
+
+    Attributes:
+        answers: the obtainable answers to the query.
+        access_log: every access performed, in order.
+        cache: all tuples extracted, per relation.
+        value_pool: the final pool ``B`` of values, per abstract domain.
+        rounds: number of iterations of the outer extraction loop.
+    """
+
+    answers: FrozenSet[Row]
+    access_log: AccessLog
+    cache: Dict[str, Set[Row]]
+    value_pool: Dict[AbstractDomain, Set[object]]
+    rounds: int
+
+    @property
+    def total_accesses(self) -> int:
+        return self.access_log.total_accesses
+
+    def accesses_of(self, relation: str) -> int:
+        return self.access_log.accesses_of(relation)
+
+    def rows_of(self, relation: str) -> int:
+        return len(self.cache.get(relation, ()))
+
+
+class NaiveEvaluator:
+    """Implements the naive all-relations extraction strategy of Figure 1."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        registry: SourceRegistry,
+        max_accesses: Optional[int] = None,
+    ) -> None:
+        """Create a naive evaluator.
+
+        Args:
+            schema: the database schema.
+            registry: wrappers over the sources.
+            max_accesses: optional safety bound; when the bound is exceeded an
+                :class:`~repro.exceptions.ExecutionError` is raised (useful in
+                randomized experiments where the Cartesian products can grow).
+        """
+        self.schema = schema
+        self.registry = registry
+        self.max_accesses = max_accesses
+
+    # ------------------------------------------------------------------------------
+    def evaluate(self, query: ConjunctiveQuery) -> NaiveEvaluationResult:
+        """Extract all obtainable tuples and answer ``query`` over them."""
+        query.validate_against(self.schema)
+        log = AccessLog()
+        cache: Dict[str, Set[Row]] = {relation.name: set() for relation in self.schema}
+        pool: Dict[AbstractDomain, Set[object]] = {}
+        tried: Set[AccessTuple] = set()
+
+        # Step 1: initialize B with the constants of the query, typed by the
+        # abstract domains of the positions where they occur.
+        for constant, domains in query.constant_domains(self.schema).items():
+            for domain_ in domains:
+                pool.setdefault(domain_, set()).add(constant.value)
+
+        rounds = 0
+        changed = True
+        while changed:
+            changed = False
+            rounds += 1
+            for relation in self.schema:
+                for binding in self._candidate_bindings(relation, pool):
+                    access = AccessTuple(relation.name, binding)
+                    if access in tried:
+                        continue
+                    tried.add(access)
+                    if self.max_accesses is not None and len(tried) > self.max_accesses:
+                        raise ExecutionError(
+                            f"naive evaluation exceeded the access budget of {self.max_accesses}"
+                        )
+                    rows = self.registry.access(relation.name, binding, log)
+                    changed = True
+                    if rows:
+                        cache[relation.name].update(rows)
+                        self._pour_values(relation, rows, pool)
+
+        answers = query.evaluate(cache)
+        return NaiveEvaluationResult(
+            answers=answers,
+            access_log=log,
+            cache=cache,
+            value_pool=pool,
+            rounds=rounds,
+        )
+
+    # ------------------------------------------------------------------------------
+    def _candidate_bindings(
+        self,
+        relation: RelationSchema,
+        pool: Mapping[AbstractDomain, Set[object]],
+    ) -> Iterable[Tuple[object, ...]]:
+        """All bindings for the input arguments of ``relation`` drawn from the pool."""
+        input_domains = relation.input_domains
+        if not input_domains:
+            return ((),)
+        value_sets: List[List[object]] = []
+        for domain_ in input_domains:
+            values = pool.get(domain_)
+            if not values:
+                return ()
+            value_sets.append(sorted(values, key=repr))
+        return itertools.product(*value_sets)
+
+    def _pour_values(
+        self,
+        relation: RelationSchema,
+        rows: Iterable[Row],
+        pool: Dict[AbstractDomain, Set[object]],
+    ) -> None:
+        """Add every value of the retrieved rows to the pool of its abstract domain."""
+        for row in rows:
+            for position, value in enumerate(row):
+                pool.setdefault(relation.domain_at(position), set()).add(value)

@@ -1,0 +1,126 @@
+"""Evaluation of conjunctions of atoms over explicit relation contents.
+
+This is the textbook join-by-backtracking evaluation of a conjunctive query
+body against in-memory relations; it is used to answer queries over the cache
+database, to perform the fast-failing satisfiability checks, and as the
+reference semantics in tests.  Atoms are matched left to right after a greedy
+reordering that prefers atoms with more bound terms (a simple bound-first
+join order that keeps intermediate results small).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.query.atoms import Atom
+from repro.query.substitution import Substitution
+from repro.query.terms import Constant, Term, Variable
+
+RelationContents = Mapping[str, Iterable[Tuple[object, ...]]]
+
+
+def _match_atom(
+    atom: Atom, row: Tuple[object, ...], substitution: Substitution
+) -> Optional[Substitution]:
+    """Try to unify ``atom`` with a concrete ``row`` under ``substitution``."""
+    if len(row) != atom.arity:
+        return None
+    current = substitution
+    for term, value in zip(atom.terms, row):
+        bound = current.apply(term)
+        if isinstance(bound, Constant):
+            if bound.value != value:
+                return None
+            continue
+        extended = current.extended(bound, Constant(value))
+        if extended is None:
+            return None
+        current = extended
+    return current
+
+
+def _bound_term_count(atom: Atom, bound_variables: Set[Variable]) -> int:
+    """Number of terms of ``atom`` already bound (constants or bound variables)."""
+    count = 0
+    for term in atom.terms:
+        if isinstance(term, Constant) or term in bound_variables:
+            count += 1
+    return count
+
+
+def _order_atoms(atoms: Sequence[Atom]) -> List[Atom]:
+    """Greedy bound-first ordering of the atoms of a conjunction."""
+    remaining = list(atoms)
+    ordered: List[Atom] = []
+    bound: Set[Variable] = set()
+    while remaining:
+        remaining.sort(key=lambda atom: -_bound_term_count(atom, bound))
+        chosen = remaining.pop(0)
+        ordered.append(chosen)
+        bound.update(chosen.variable_set())
+    return ordered
+
+
+def evaluate_conjunction(
+    atoms: Sequence[Atom],
+    contents: RelationContents,
+    initial: Optional[Substitution] = None,
+) -> Iterator[Substitution]:
+    """Yield every substitution that satisfies all ``atoms`` over ``contents``.
+
+    Relations missing from ``contents`` are treated as empty.  The returned
+    substitutions bind exactly the variables occurring in ``atoms`` (plus any
+    binding already present in ``initial``).
+    """
+    materialized: Dict[str, List[Tuple[object, ...]]] = {}
+
+    def rows_of(predicate: str) -> List[Tuple[object, ...]]:
+        if predicate not in materialized:
+            materialized[predicate] = [tuple(row) for row in contents.get(predicate, ())]
+        return materialized[predicate]
+
+    ordered = _order_atoms(atoms)
+
+    def search(index: int, substitution: Substitution) -> Iterator[Substitution]:
+        if index == len(ordered):
+            yield substitution
+            return
+        atom = ordered[index]
+        for row in rows_of(atom.predicate):
+            matched = _match_atom(atom, row, substitution)
+            if matched is not None:
+                yield from search(index + 1, matched)
+
+    yield from search(0, initial or Substitution())
+
+
+def conjunction_is_satisfiable(
+    atoms: Sequence[Atom],
+    contents: RelationContents,
+) -> bool:
+    """True when at least one substitution satisfies the conjunction."""
+    for _ in evaluate_conjunction(atoms, contents):
+        return True
+    return False
+
+
+def project_answers(
+    atoms: Sequence[Atom],
+    head_terms: Sequence[Term],
+    contents: RelationContents,
+) -> Set[Tuple[object, ...]]:
+    """Evaluate a conjunction and project the results onto ``head_terms``."""
+    answers: Set[Tuple[object, ...]] = set()
+    for substitution in evaluate_conjunction(atoms, contents):
+        row: List[object] = []
+        ok = True
+        for term in head_terms:
+            value = substitution.apply(term)
+            if isinstance(value, Constant):
+                row.append(value.value)
+            else:
+                ok = False
+                break
+        if ok:
+            answers.add(tuple(row))
+    return answers

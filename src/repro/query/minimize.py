@@ -1,0 +1,72 @@
+"""Chandra–Merlin minimization of conjunctive queries.
+
+Section IV of the paper assumes the input CQ is *minimal*: no equivalent CQ
+exists whose body atoms are a proper subset of its body atoms.  Minimization
+(computing the core of the query) is NP-complete in general, but queries have
+a handful of atoms, so the simple fold-and-check procedure below is perfectly
+adequate: repeatedly try to drop a body atom and keep the reduced query when
+it is still equivalent to the original.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.query.atoms import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.homomorphism import find_atom_mapping, is_equivalent_to
+from repro.query.substitution import Substitution
+from repro.query.terms import Constant, Variable
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """True when no proper subset of the body yields an equivalent query."""
+    if len(query.body) == 1:
+        return True
+    for index in range(len(query.body)):
+        candidate_body = query.body[:index] + query.body[index + 1:]
+        if not _is_safe_body(query, candidate_body):
+            continue
+        candidate = query.with_body(candidate_body)
+        if is_equivalent_to(candidate, query):
+            return False
+    return True
+
+
+def _is_safe_body(query: ConjunctiveQuery, body: Tuple[Atom, ...]) -> bool:
+    """Check that dropping atoms kept every head variable in the body."""
+    remaining_variables = set()
+    for atom in body:
+        remaining_variables.update(atom.variable_set())
+    return all(variable in remaining_variables for variable in query.head_variables())
+
+
+def minimize_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Return an equivalent minimal conjunctive query.
+
+    The result is obtained by greedily removing redundant atoms; the classical
+    result that all cores of a CQ are isomorphic guarantees that greedy
+    removal reaches a minimal equivalent query regardless of the removal
+    order.
+    """
+    current = query
+    changed = True
+    while changed and len(current.body) > 1:
+        changed = False
+        for index in range(len(current.body)):
+            candidate_body = current.body[:index] + current.body[index + 1:]
+            if not _is_safe_body(current, candidate_body):
+                continue
+            candidate = current.with_body(candidate_body)
+            if is_equivalent_to(candidate, query):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def minimization_certificate(
+    original: ConjunctiveQuery, minimized: ConjunctiveQuery
+) -> Tuple[bool, int]:
+    """Return ``(equivalent, atoms_removed)`` for reporting purposes."""
+    return is_equivalent_to(original, minimized), len(original.body) - len(minimized.body)

@@ -1,0 +1,146 @@
+"""A small textual parser for conjunctive queries and atoms.
+
+The accepted syntax follows Datalog conventions::
+
+    q(N) <- r1(A, N, Y1), r2('volare', Y2, A)
+    q(X, Y) :- r(X, 'a'), s(Y, X), t(X, 3)
+
+* identifiers starting with an upper-case letter (or underscore) are
+  variables;
+* quoted strings (single or double quotes) and numbers are constants;
+* bare identifiers starting with a lower-case letter are string constants;
+* ``<-`` and ``:-`` both separate head and body; atoms are comma-separated.
+
+UCQs are written one disjunct per line (or separated by ``;``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.exceptions import ParseError
+from repro.query.atoms import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.terms import Constant, Term, Variable
+from repro.query.ucq import UnionOfConjunctiveQueries
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*)\s*\(")
+_NUMBER_RE = re.compile(r"^-?\d+(\.\d+)?$")
+
+
+def _parse_term(token: str) -> Term:
+    """Parse a single term token."""
+    token = token.strip()
+    if not token:
+        raise ParseError("empty term")
+    if (token[0] == "'" and token[-1] == "'") or (token[0] == '"' and token[-1] == '"'):
+        return Constant(token[1:-1])
+    if _NUMBER_RE.match(token):
+        if "." in token:
+            return Constant(float(token))
+        return Constant(int(token))
+    if token[0].isupper() or token[0] == "_":
+        return Variable(token)
+    if token[0].isalpha():
+        return Constant(token)
+    raise ParseError(f"cannot parse term {token!r}")
+
+
+def _split_arguments(text: str) -> List[str]:
+    """Split a comma-separated argument list, respecting quotes."""
+    arguments: List[str] = []
+    current: List[str] = []
+    quote: str = ""
+    for char in text:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = ""
+            continue
+        if char in "'\"":
+            quote = char
+            current.append(char)
+            continue
+        if char == ",":
+            arguments.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current or arguments:
+        arguments.append("".join(current))
+    return [argument.strip() for argument in arguments if argument.strip()]
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``r1('volare', Y2, A)``."""
+    text = text.strip()
+    match = _ATOM_RE.match(text)
+    if not match or not text.endswith(")"):
+        raise ParseError(f"cannot parse atom {text!r}")
+    predicate = match.group(1)
+    inner = text[match.end():-1]
+    terms = tuple(_parse_term(token) for token in _split_arguments(inner))
+    return Atom(predicate, terms)
+
+
+def _split_atoms(body: str) -> List[str]:
+    """Split a conjunction into atom strings, respecting parentheses and quotes."""
+    atoms: List[str] = []
+    current: List[str] = []
+    depth = 0
+    quote = ""
+    for char in body:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = ""
+            continue
+        if char in "'\"":
+            quote = char
+            current.append(char)
+            continue
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced parentheses in {body!r}")
+        if char == "," and depth == 0:
+            atoms.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if depth != 0:
+        raise ParseError(f"unbalanced parentheses in {body!r}")
+    if current:
+        atoms.append("".join(current))
+    return [atom.strip() for atom in atoms if atom.strip()]
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query of the form ``q(X) <- r(X, Y), s(Y)``."""
+    text = text.strip().rstrip(".")
+    separator = None
+    for candidate in ("<-", ":-"):
+        if candidate in text:
+            separator = candidate
+            break
+    if separator is None:
+        raise ParseError(f"query {text!r} has no '<-' or ':-' separator")
+    head_text, body_text = text.split(separator, 1)
+    head_atom = parse_atom(head_text.strip()) if "(" in head_text else Atom(head_text.strip(), ())
+    body_atoms = tuple(parse_atom(atom_text) for atom_text in _split_atoms(body_text))
+    return ConjunctiveQuery(head_atom.predicate, head_atom.terms, body_atoms)
+
+
+def parse_ucq(text: str) -> UnionOfConjunctiveQueries:
+    """Parse a UCQ written as one CQ per line (or separated by ``;``)."""
+    pieces: List[str] = []
+    for line in re.split(r"[;\n]", text):
+        line = line.strip()
+        if line:
+            pieces.append(line)
+    if not pieces:
+        raise ParseError("empty UCQ")
+    return UnionOfConjunctiveQueries(tuple(parse_query(piece) for piece in pieces))

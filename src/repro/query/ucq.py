@@ -1,0 +1,77 @@
+"""Unions of conjunctive queries (UCQs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Mapping, Set, Tuple
+
+from repro.exceptions import QueryError
+from repro.model.schema import Schema
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class UnionOfConjunctiveQueries:
+    """A UCQ: a set of CQs with the same head predicate and arity.
+
+    The answer to a UCQ over a database is the union of the answers to its
+    disjuncts; accordingly, the planner plans each disjunct separately and the
+    executor shares the per-relation meta-caches across disjuncts so that no
+    access is repeated.
+    """
+
+    disjuncts: Tuple[ConjunctiveQuery, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "disjuncts", tuple(self.disjuncts))
+        if not self.disjuncts:
+            raise QueryError("a UCQ must have at least one disjunct")
+        arity = self.disjuncts[0].arity
+        predicate = self.disjuncts[0].head_predicate
+        for disjunct in self.disjuncts[1:]:
+            if disjunct.arity != arity:
+                raise QueryError("all disjuncts of a UCQ must have the same arity")
+            if disjunct.head_predicate != predicate:
+                raise QueryError("all disjuncts of a UCQ must share the head predicate")
+
+    # -- inspection ------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        return self.disjuncts[0].arity
+
+    @property
+    def head_predicate(self) -> str:
+        return self.disjuncts[0].head_predicate
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def predicate_set(self) -> Set[str]:
+        found: Set[str] = set()
+        for disjunct in self.disjuncts:
+            found.update(disjunct.predicate_set())
+        return found
+
+    def validate_against(self, schema: Schema) -> None:
+        for disjunct in self.disjuncts:
+            disjunct.validate_against(schema)
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(
+        self, contents: Mapping[str, Iterable[Tuple[object, ...]]]
+    ) -> FrozenSet[Tuple[object, ...]]:
+        """Classical semantics: union of the disjuncts' answers."""
+        answers: Set[Tuple[object, ...]] = set()
+        for disjunct in self.disjuncts:
+            answers.update(disjunct.evaluate(contents))
+        return frozenset(answers)
+
+    # -- rendering ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return "\n".join(str(disjunct) for disjunct in self.disjuncts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UnionOfConjunctiveQueries({len(self.disjuncts)} disjuncts)"

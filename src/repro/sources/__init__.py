@@ -1,0 +1,33 @@
+"""Source wrappers, access bookkeeping and the cache database.
+
+This package models the data-extraction half of Figure 5 of the paper:
+
+* :class:`~repro.sources.access.AccessTuple` — the binding with which a
+  source is accessed (one value per input argument);
+* :class:`~repro.sources.wrapper.SourceWrapper` — wraps a relation instance
+  and serves accesses while counting them and charging a configurable
+  latency;
+* :class:`~repro.sources.wrapper.SourceRegistry` — the set of wrappers for a
+  database instance;
+* :class:`~repro.sources.log.AccessLog` — global record of the accesses
+  performed during an execution;
+* :class:`~repro.sources.cache.CacheDatabase` — the cache tables (one per
+  plan cache predicate), the per-relation meta-caches and the access tables.
+"""
+
+from repro.sources.access import AccessRecord, AccessTuple
+from repro.sources.cache import AccessTable, CacheDatabase, CacheTable, MetaCache
+from repro.sources.log import AccessLog
+from repro.sources.wrapper import SourceRegistry, SourceWrapper
+
+__all__ = [
+    "AccessLog",
+    "AccessRecord",
+    "AccessTable",
+    "AccessTuple",
+    "CacheDatabase",
+    "CacheTable",
+    "MetaCache",
+    "SourceRegistry",
+    "SourceWrapper",
+]

@@ -1,0 +1,207 @@
+"""The cache database: cache tables, meta-caches and access tables.
+
+Toorjah's data-extraction layer (Figure 5 of the paper) keeps three kinds of
+auxiliary structures:
+
+* **cache tables** — one physical table per cache predicate of the plan (one
+  cache per occurrence of a relation in the query, plus one per relevant
+  relation not occurring in the query), holding the tuples extracted so far;
+* **meta-caches** — one per relation, defined as the union of all the caches
+  over that relation; before accessing a relation, the executor consults the
+  meta-cache to check whether the access tuple was already used (possibly by
+  another occurrence), in which case the extraction is read from the cache
+  instead of hitting the source again;
+* **access tables** — one per relation with limitations, storing the access
+  tuples that are ready to be shipped to the corresponding wrapper (used by
+  the distillation scheduler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.model.schema import RelationSchema
+from repro.sources.access import AccessTuple
+
+Row = Tuple[object, ...]
+
+
+class CacheTable:
+    """The extension of one cache predicate.
+
+    A cache table remembers, besides its tuples, which relation and which
+    occurrence of the query it caches, and at which ordering position it must
+    be populated.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        relation: RelationSchema,
+        position: int = 0,
+    ) -> None:
+        self.name = name
+        self.relation = relation
+        self.position = position
+        self._rows: Set[Row] = set()
+
+    # -- mutation -----------------------------------------------------------
+    def add(self, row: Row) -> bool:
+        row = tuple(row)
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        return True
+
+    def add_all(self, rows: Iterable[Row]) -> int:
+        return sum(1 for row in rows if self.add(row))
+
+    # -- inspection ----------------------------------------------------------
+    def rows(self) -> FrozenSet[Row]:
+        return frozenset(self._rows)
+
+    def values_at(self, position: int) -> Set[object]:
+        return {row[position] for row in self._rows}
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheTable({self.name!r}, {len(self)} rows)"
+
+
+class MetaCache:
+    """Per-relation record of the accesses already made and their results.
+
+    The meta-cache is "a sort of cache defined as the union of all the caches
+    on that relation" (Section IV): it maps every access tuple already used
+    against the relation to the rows that the source returned, so that a
+    repeated access (possibly issued on behalf of a different occurrence of
+    the relation) can be answered locally at no cost.
+    """
+
+    def __init__(self, relation: RelationSchema) -> None:
+        self.relation = relation
+        self._results: Dict[Tuple[object, ...], FrozenSet[Row]] = {}
+
+    def has_access(self, binding: Tuple[object, ...]) -> bool:
+        return tuple(binding) in self._results
+
+    def record(self, binding: Tuple[object, ...], rows: FrozenSet[Row]) -> None:
+        self._results[tuple(binding)] = frozenset(rows)
+
+    def rows_for(self, binding: Tuple[object, ...]) -> FrozenSet[Row]:
+        return self._results.get(tuple(binding), frozenset())
+
+    def bindings(self) -> FrozenSet[Tuple[object, ...]]:
+        return frozenset(self._results)
+
+    def all_rows(self) -> FrozenSet[Row]:
+        """Union of all rows extracted from the relation so far."""
+        union: Set[Row] = set()
+        for rows in self._results.values():
+            union.update(rows)
+        return frozenset(union)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetaCache({self.relation.name!r}, {len(self)} accesses)"
+
+
+@dataclass
+class AccessTable:
+    """Pending access tuples for one relation with limitations.
+
+    Used by the distillation scheduler: access tuples generated from the
+    cache database wait here before being delivered to the wrapper's queue.
+    """
+
+    relation: RelationSchema
+    pending: List[AccessTuple] = field(default_factory=list)
+    delivered: Set[AccessTuple] = field(default_factory=set)
+
+    def offer(self, access: AccessTuple) -> bool:
+        """Add an access tuple unless it was already offered or delivered."""
+        if access in self.delivered or access in self.pending:
+            return False
+        self.pending.append(access)
+        return True
+
+    def take(self) -> Optional[AccessTuple]:
+        """Remove and return the next pending access tuple, if any."""
+        if not self.pending:
+            return None
+        access = self.pending.pop(0)
+        self.delivered.add(access)
+        return access
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+
+class CacheDatabase:
+    """All cache tables of one execution, plus the per-relation meta-caches."""
+
+    def __init__(self) -> None:
+        self._caches: Dict[str, CacheTable] = {}
+        self._meta: Dict[str, MetaCache] = {}
+        self._access_tables: Dict[str, AccessTable] = {}
+
+    # -- cache tables ------------------------------------------------------------
+    def create_cache(self, name: str, relation: RelationSchema, position: int = 0) -> CacheTable:
+        if name not in self._caches:
+            self._caches[name] = CacheTable(name, relation, position)
+        return self._caches[name]
+
+    def cache(self, name: str) -> CacheTable:
+        return self._caches[name]
+
+    def has_cache(self, name: str) -> bool:
+        return name in self._caches
+
+    def caches(self) -> List[CacheTable]:
+        return list(self._caches.values())
+
+    def caches_at_position(self, position: int) -> List[CacheTable]:
+        return [cache for cache in self._caches.values() if cache.position == position]
+
+    def caches_of_relation(self, relation_name: str) -> List[CacheTable]:
+        return [
+            cache for cache in self._caches.values() if cache.relation.name == relation_name
+        ]
+
+    # -- meta-caches ----------------------------------------------------------------
+    def meta_cache(self, relation: RelationSchema) -> MetaCache:
+        if relation.name not in self._meta:
+            self._meta[relation.name] = MetaCache(relation)
+        return self._meta[relation.name]
+
+    def meta_caches(self) -> Dict[str, MetaCache]:
+        return dict(self._meta)
+
+    # -- access tables ----------------------------------------------------------------
+    def access_table(self, relation: RelationSchema) -> AccessTable:
+        if relation.name not in self._access_tables:
+            self._access_tables[relation.name] = AccessTable(relation)
+        return self._access_tables[relation.name]
+
+    # -- views ---------------------------------------------------------------------------
+    def contents(self) -> Dict[str, FrozenSet[Row]]:
+        """Snapshot ``{cache_name: rows}`` used to evaluate queries over the caches."""
+        return {name: cache.rows() for name, cache in self._caches.items()}
+
+    def extracted_rows_by_relation(self) -> Dict[str, FrozenSet[Row]]:
+        """Distinct rows extracted per source relation (via the meta-caches)."""
+        return {name: meta.all_rows() for name, meta in self._meta.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheDatabase({len(self._caches)} caches, {len(self._meta)} meta-caches)"

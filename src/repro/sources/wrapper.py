@@ -1,0 +1,150 @@
+"""Source wrappers.
+
+A wrapper hides a data source behind the access interface of the paper: the
+only operation it supports is an *access*, i.e. a lookup with every input
+argument bound.  Wrappers count their accesses, charge a configurable
+per-access latency to a simulated clock, and can be shared by several
+executions through a :class:`SourceRegistry`.
+
+In the paper the wrappers issue SQL selections against remote or local
+sources; here they answer from an in-memory :class:`RelationInstance`, which
+preserves the only quantity the optimization is about — the number of
+accesses — while keeping experiments fast and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.exceptions import AccessError
+from repro.model.instance import DatabaseInstance, RelationInstance
+from repro.model.schema import RelationSchema, Schema
+from repro.sources.access import AccessRecord, AccessTuple, validate_binding
+from repro.sources.log import AccessLog
+
+
+class SourceWrapper:
+    """Wraps one relation instance behind the access interface."""
+
+    def __init__(
+        self,
+        instance: RelationInstance,
+        latency: float = 0.0,
+    ) -> None:
+        self.instance = instance
+        self.latency = latency
+        self.access_count = 0
+        self.simulated_clock = 0.0
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self.instance.schema
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def access(
+        self,
+        binding: Tuple[object, ...],
+        log: Optional[AccessLog] = None,
+    ) -> FrozenSet[Tuple[object, ...]]:
+        """Perform one access with the given binding.
+
+        The binding must contain exactly one value per input argument of the
+        relation, in the order of the input positions.  The matching tuples
+        are returned; the access is counted and, when a log is supplied,
+        recorded there.
+        """
+        binding = tuple(binding)
+        validate_binding(self.schema, binding)
+        self.access_count += 1
+        self.simulated_clock += self.latency
+        rows = self.instance.lookup(binding)
+        if log is not None:
+            log.record(
+                AccessRecord(
+                    access=AccessTuple(self.name, binding),
+                    rows=rows,
+                    sequence_number=log.total_accesses,
+                    simulated_time=self.simulated_clock,
+                )
+            )
+        return rows
+
+    def reset_counters(self) -> None:
+        self.access_count = 0
+        self.simulated_clock = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SourceWrapper({self.name!r}, {len(self.instance)} tuples)"
+
+
+class SourceRegistry:
+    """The set of wrappers over a database instance.
+
+    The registry is the single entry point the executors use to reach the
+    sources; it owns the shared :class:`AccessLog` for one execution.
+    """
+
+    def __init__(
+        self,
+        database: DatabaseInstance,
+        latency: float = 0.0,
+        per_relation_latency: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.database = database
+        self.schema: Schema = database.schema
+        self.default_latency = latency
+        self._wrappers: Dict[str, SourceWrapper] = {}
+        for relation in database:
+            relation_latency = latency
+            if per_relation_latency and relation.schema.name in per_relation_latency:
+                relation_latency = per_relation_latency[relation.schema.name]
+            self._wrappers[relation.schema.name] = SourceWrapper(relation, relation_latency)
+
+    # -- lookup --------------------------------------------------------------
+    def wrapper(self, relation_name: str) -> SourceWrapper:
+        try:
+            return self._wrappers[relation_name]
+        except KeyError:
+            raise AccessError(f"no wrapper for relation {relation_name!r}") from None
+
+    def __getitem__(self, relation_name: str) -> SourceWrapper:
+        return self.wrapper(relation_name)
+
+    def __contains__(self, relation_name: str) -> bool:
+        return relation_name in self._wrappers
+
+    def __iter__(self) -> Iterator[SourceWrapper]:
+        return iter(self._wrappers.values())
+
+    def relation_names(self) -> List[str]:
+        return list(self._wrappers)
+
+    # -- convenience ------------------------------------------------------------
+    def access(
+        self,
+        relation_name: str,
+        binding: Tuple[object, ...],
+        log: Optional[AccessLog] = None,
+    ) -> FrozenSet[Tuple[object, ...]]:
+        """Access a relation by name (see :meth:`SourceWrapper.access`)."""
+        return self.wrapper(relation_name).access(binding, log)
+
+    def reset_counters(self) -> None:
+        for wrapper in self._wrappers.values():
+            wrapper.reset_counters()
+
+    def total_access_count(self) -> int:
+        return sum(wrapper.access_count for wrapper in self._wrappers.values())
+
+    @classmethod
+    def over(
+        cls,
+        database: DatabaseInstance,
+        latency: float = 0.0,
+    ) -> "SourceRegistry":
+        """Shorthand constructor used throughout the examples."""
+        return cls(database, latency=latency)

@@ -1,0 +1,19 @@
+"""Small self-contained utilities shared by the rest of the library."""
+
+from repro.util.algorithms import (
+    condensation,
+    count_topological_orders,
+    has_unique_topological_order,
+    reachable_from,
+    strongly_connected_components,
+    topological_sort,
+)
+
+__all__ = [
+    "condensation",
+    "count_topological_orders",
+    "has_unique_topological_order",
+    "reachable_from",
+    "strongly_connected_components",
+    "topological_sort",
+]
