@@ -1,0 +1,63 @@
+"""repro — querying data under access limitations (Calì & Martinenghi, ICDE'08).
+
+The supported public API is the :mod:`repro.engine` façade, re-exported
+here::
+
+    from repro import Engine
+    engine = Engine(schema, instance)
+    result = engine.plan("q(N) <- r1(A, N, Y1), r2('volare', Y2, A)").execute()
+
+The underlying subpackages (``model``, ``query``, ``graph``, ``plan``,
+``sources``, ``datalog``) remain importable for research use, but their
+interfaces may change; the façade is the stable boundary.
+"""
+
+from repro.engine import (
+    Engine,
+    EngineSession,
+    ExecuteOptions,
+    ExecutionStrategy,
+    Explanation,
+    PreparedPlan,
+    Result,
+    SourceBreakdown,
+    Termination,
+    available_strategies,
+    register_strategy,
+    resolve_strategy,
+    unregister_strategy,
+)
+from repro.exceptions import ReproError
+from repro.model.instance import DatabaseInstance
+from repro.model.schema import RelationSchema, Schema
+from repro.plan.parallel import StreamedAnswer
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.sources.wrapper import SourceRegistry
+
+__version__ = "0.2.0"
+
+__all__ = [
+    "ConjunctiveQuery",
+    "DatabaseInstance",
+    "Engine",
+    "EngineSession",
+    "ExecuteOptions",
+    "ExecutionStrategy",
+    "Explanation",
+    "PreparedPlan",
+    "RelationSchema",
+    "ReproError",
+    "Result",
+    "Schema",
+    "SourceBreakdown",
+    "SourceRegistry",
+    "StreamedAnswer",
+    "Termination",
+    "available_strategies",
+    "parse_query",
+    "register_strategy",
+    "resolve_strategy",
+    "unregister_strategy",
+    "__version__",
+]

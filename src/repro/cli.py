@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro {plan,run,explain}``.
+
+The CLI drives the :class:`~repro.engine.Engine` façade end to end.  The
+schema and data come either from a JSON workload file (``--workload``) or
+from the built-in paper example (``--example``)::
+
+    python -m repro plan --example
+    python -m repro run --example --strategy fast_fail
+    python -m repro run --example --strategy distillation --stream
+    python -m repro explain --example --json
+    python -m repro run --workload w.json "q(X) <- r(X, Y)"
+
+Workload file format::
+
+    {
+      "relations": {"r1": {"pattern": "ioo", "domains": ["Artist", "Nation", "Year"]}},
+      "tuples":    {"r1": [["Domenico Modugno", "Italy", 1928]]},
+      "query":     "q(N) <- r1(A, N, Y1)"        // optional default query
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Tuple
+
+from repro.engine import Engine, available_strategies
+from repro.examples import running_example
+from repro.exceptions import ReproError
+from repro.model.instance import DatabaseInstance
+from repro.model.schema import Schema
+
+
+def load_workload(path: str) -> Tuple[Schema, DatabaseInstance, Optional[str]]:
+    """Load a ``(schema, instance, default_query)`` triple from a JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise ReproError(f"cannot read workload {path!r}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ReproError(f"workload {path!r} is not valid JSON: {error}") from None
+    relations = payload.get("relations")
+    if not isinstance(relations, dict) or not relations:
+        raise ReproError(f"workload {path!r} has no 'relations' mapping")
+    schema = Schema()
+    for name, spec in relations.items():
+        try:
+            schema.add_relation(name, spec["pattern"], spec["domains"])
+        except (KeyError, TypeError):
+            raise ReproError(
+                f"workload relation {name!r} needs 'pattern' and 'domains' fields"
+            ) from None
+    instance = DatabaseInstance(schema)
+    for name, rows in (payload.get("tuples") or {}).items():
+        instance.add_tuples(name, [tuple(row) for row in rows])
+    query = payload.get("query")
+    return schema, instance, query
+
+
+def _build_engine(args: argparse.Namespace) -> Tuple[Engine, str]:
+    """Resolve the engine and the query text from the parsed arguments."""
+    if args.example:
+        example = running_example()
+        schema, instance, default_query = example.schema, example.instance, example.query_text
+    elif args.workload:
+        schema, instance, default_query = load_workload(args.workload)
+    else:
+        raise ReproError("either --example or --workload FILE is required")
+    query = args.query or default_query
+    if not query:
+        raise ReproError("no query given (positionally or via the workload's 'query' field)")
+    return Engine(schema, instance, latency=args.latency), query
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("query", nargs="?", help="conjunctive query, e.g. \"q(X) <- r(X, Y)\"")
+    parser.add_argument(
+        "--workload", "-w", metavar="FILE", help="JSON workload file (relations/tuples/query)"
+    )
+    parser.add_argument(
+        "--example", action="store_true", help="use the paper's built-in running example"
+    )
+    parser.add_argument(
+        "--latency", type=float, default=0.0, help="simulated per-access latency (seconds)"
+    )
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    engine, query = _build_engine(args)
+    prepared = engine.plan(query)
+    if args.json:
+        explanation = prepared.explain()
+        print(json.dumps({"query": explanation.query, "datalog": explanation.datalog}, indent=2))
+    else:
+        print(prepared.plan.describe())
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    engine, query = _build_engine(args)
+    explanation = engine.explain(query)
+    if args.json:
+        print(json.dumps(explanation.to_dict(), indent=2))
+    else:
+        print(explanation.describe())
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    engine, query = _build_engine(args)
+    prepared = engine.plan(query)
+    if args.stream:
+        # --stream needs a streaming-capable strategy; default to distillation
+        # but honor an explicit --strategy (naive/fast_fail then fail loudly).
+        strategy = args.strategy or "distillation"
+        streamed = []
+        for answer in prepared.stream(strategy=strategy, answer_check_interval=1):
+            streamed.append(answer)
+            if not args.json:
+                print(f"t={answer.simulated_time:.4f}  {answer.row}")
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {"row": list(answer.row), "simulated_time": answer.simulated_time}
+                        for answer in streamed
+                    ],
+                    indent=2,
+                )
+            )
+        else:
+            print(f"({len(streamed)} answers streamed)")
+        return 0
+    result = prepared.execute(strategy=args.strategy or "fast_fail")
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        for row in sorted(result.answers, key=repr):
+            print(row)
+        print()
+        print(result.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query data under access limitations (Calì & Martinenghi, ICDE'08).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    plan_parser = subparsers.add_parser("plan", help="generate and print the ⊂-minimal plan")
+    _add_common_arguments(plan_parser)
+    plan_parser.set_defaults(handler=_command_plan)
+
+    run_parser = subparsers.add_parser("run", help="execute a query and print the answers")
+    _add_common_arguments(run_parser)
+    run_parser.add_argument(
+        "--strategy",
+        "-s",
+        default=None,
+        help=(
+            f"execution strategy ({', '.join(available_strategies())}); "
+            "defaults to fast_fail, or distillation with --stream"
+        ),
+    )
+    run_parser.add_argument(
+        "--stream", action="store_true", help="stream incremental answers (distillation)"
+    )
+    run_parser.set_defaults(handler=_command_run)
+
+    explain_parser = subparsers.add_parser("explain", help="print the explain() pipeline output")
+    _add_common_arguments(explain_parser)
+    explain_parser.set_defaults(handler=_command_explain)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:  # e.g. `repro run ... | head`
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if getattr(error, "query", None) is not None:
+            print(f"  query: {error.query}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -16,7 +16,7 @@ from repro.datalog.program import DatalogProgram, Rule
 from repro.query.atoms import Atom
 from repro.query.evaluate import evaluate_conjunction
 from repro.query.substitution import Substitution
-from repro.query.terms import Constant, Variable
+from repro.query.terms import Constant
 
 Row = Tuple[object, ...]
 Extension = Dict[str, Set[Row]]

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.exceptions import DatalogError
 from repro.query.atoms import Atom
-from repro.query.terms import Constant, Term, Variable
+from repro.query.terms import Variable
 
 
 @dataclass(frozen=True)

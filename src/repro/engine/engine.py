@@ -1,0 +1,206 @@
+"""The :class:`Engine` façade: one public entry point for the whole pipeline.
+
+The engine hides the seed's seven subpackages behind four calls::
+
+    engine = Engine(schema, instance)
+    prepared = engine.plan("q(N) <- r1(A, N, Y1), r2('volare', Y2, A)")
+    result = prepared.execute(strategy="fast_fail")
+    explanation = prepared.explain()
+
+Behind the scenes it wires parsing → validation → minimization → constant
+elimination → d-graph → greatest fixpoint → ordering → ⊂-minimal plan, and
+executes plans through the pluggable strategy registry.  The engine also
+owns a *session*: a shared access log and shared per-relation meta-caches,
+so that no access is ever repeated across the queries of one session (the
+paper's "never repeat an access" invariant, lifted from one plan to the
+whole workload).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Union
+
+from repro.engine.explain import Explanation
+from repro.engine.prepared import PreparedPlan
+from repro.engine.result import Result
+from repro.engine.strategy import ExecuteOptions, StrategyLike
+from repro.exceptions import EngineError, ReproError
+from repro.model.instance import DatabaseInstance
+from repro.model.schema import Schema
+from repro.plan.minimal import MinimalPlanGenerator
+from repro.plan.parallel import StreamedAnswer
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.sources.cache import CacheDatabase, MetaCache
+from repro.sources.log import AccessLog
+from repro.sources.wrapper import SourceRegistry
+
+
+class EngineSession:
+    """Cross-query state shared by every execution of one engine.
+
+    Attributes:
+        meta: the shared per-relation meta-caches.  Every execution created
+            through :meth:`new_cache_db` reads and feeds these, so an access
+            tuple already used by *any* earlier query of the session is
+            answered locally instead of hitting the source again.
+        log: cumulative access log over all executions of the session.
+        executions: number of executions absorbed so far.
+    """
+
+    def __init__(self) -> None:
+        self.meta: Dict[str, MetaCache] = {}
+        self.log = AccessLog()
+        self.executions = 0
+
+    def new_cache_db(self) -> CacheDatabase:
+        """A fresh cache database whose meta-caches are the session's."""
+        return CacheDatabase(shared_meta=self.meta)
+
+    def absorb(self, log: AccessLog) -> None:
+        """Fold one execution's access log into the session log."""
+        self.log.extend(log)
+        self.executions += 1
+
+    @property
+    def known_accesses(self) -> int:
+        """Distinct accesses the session can answer without a source round-trip."""
+        return sum(len(meta) for meta in self.meta.values())
+
+    def reset(self) -> None:
+        self.meta.clear()
+        self.log = AccessLog()
+        self.executions = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "executions": self.executions,
+            "total_accesses": self.log.total_accesses,
+            "known_accesses": self.known_accesses,
+        }
+
+
+class Engine:
+    """The public query engine over a schema with access limitations.
+
+    Args:
+        schema: the database schema (with access patterns).  May be ``None``
+            when ``source`` is given, in which case the source's schema is
+            used.
+        source: where accesses are answered from — either a
+            :class:`~repro.model.instance.DatabaseInstance` (a registry of
+            zero-latency wrappers is built over it) or a ready-made
+            :class:`~repro.sources.wrapper.SourceRegistry` (e.g. with
+            per-relation latencies).
+        latency: default per-access simulated latency when building wrappers
+            from a database instance.
+        minimize: run Chandra–Merlin minimization on queries before planning.
+        join_first_heuristic: tie-break source orderings by join count.
+        options: default :class:`~repro.engine.strategy.ExecuteOptions` for
+            executions started from this engine.
+    """
+
+    def __init__(
+        self,
+        schema: Optional[Schema],
+        source: Union[DatabaseInstance, SourceRegistry],
+        *,
+        latency: float = 0.0,
+        minimize: bool = True,
+        join_first_heuristic: bool = True,
+        options: Optional[ExecuteOptions] = None,
+    ) -> None:
+        if isinstance(source, SourceRegistry):
+            self.registry = source
+        elif isinstance(source, DatabaseInstance):
+            self.registry = SourceRegistry(source, latency=latency)
+        else:
+            raise EngineError(
+                f"source must be a DatabaseInstance or a SourceRegistry, got {type(source).__name__}"
+            )
+        self.schema: Schema = schema if schema is not None else self.registry.schema
+        if self.schema != self.registry.schema:
+            raise EngineError("the engine's schema differs from the source registry's schema")
+        self.default_options = options if options is not None else ExecuteOptions()
+        self._generator = MinimalPlanGenerator(
+            self.schema, minimize=minimize, join_first_heuristic=join_first_heuristic
+        )
+        self.session = EngineSession()
+
+    # -- construction shorthands ---------------------------------------------
+    @classmethod
+    def over(cls, instance: DatabaseInstance, **kwargs: object) -> "Engine":
+        """Build an engine straight over a database instance."""
+        return cls(instance.schema, instance, **kwargs)  # type: ignore[arg-type]
+
+    # -- parsing and planning ------------------------------------------------
+    def parse(self, text: str) -> ConjunctiveQuery:
+        """Parse a textual conjunctive query (``q(X) <- r(X, Y), s(Y)``)."""
+        try:
+            return parse_query(text)
+        except ReproError as error:
+            raise error.with_context(query=text)
+
+    def _coerce(self, query: Union[str, ConjunctiveQuery]) -> ConjunctiveQuery:
+        if isinstance(query, ConjunctiveQuery):
+            return query
+        if isinstance(query, str):
+            return self.parse(query)
+        raise EngineError(f"cannot interpret {type(query).__name__} as a query", query=query)
+
+    def plan(self, query: Union[str, ConjunctiveQuery]) -> PreparedPlan:
+        """Parse (if needed), validate and plan a query.
+
+        Raises:
+            ParseError: the text could not be parsed.
+            QueryError: the query is inconsistent with the schema.
+            UnanswerableQueryError: the query mentions a non-queryable
+                relation (Section II); no plan produces its certain answers.
+            Each carries the offending query as ``error.query``.
+        """
+        parsed = self._coerce(query)
+        try:
+            plan = self._generator.generate(parsed)
+        except ReproError as error:
+            raise error.with_context(query=parsed)
+        return PreparedPlan(engine=self, query=parsed, plan=plan)
+
+    # -- one-call conveniences -----------------------------------------------
+    def execute(
+        self,
+        query: Union[str, ConjunctiveQuery],
+        strategy: StrategyLike = "fast_fail",
+        options: Optional[ExecuteOptions] = None,
+        **overrides: object,
+    ) -> Result:
+        """Plan and execute in one call: ``engine.execute(q, strategy="naive")``."""
+        return self.plan(query).execute(strategy=strategy, options=options, **overrides)
+
+    def stream(
+        self,
+        query: Union[str, ConjunctiveQuery],
+        strategy: StrategyLike = "distillation",
+        options: Optional[ExecuteOptions] = None,
+        **overrides: object,
+    ) -> Iterator[StreamedAnswer]:
+        """Plan and stream incremental answers in one call."""
+        return self.plan(query).stream(strategy=strategy, options=options, **overrides)
+
+    def explain(self, query: Union[str, ConjunctiveQuery]) -> Explanation:
+        """Plan and explain in one call."""
+        return self.plan(query).explain()
+
+    # -- session management --------------------------------------------------
+    def reset_session(self) -> None:
+        """Forget all shared meta-caches and the cumulative access log."""
+        self.session.reset()
+
+    def session_stats(self) -> Dict[str, int]:
+        """Counters of the current session (executions, accesses, meta hits)."""
+        return self.session.stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Engine({len(self.schema)} relations, "
+            f"{self.session.executions} executions this session)"
+        )

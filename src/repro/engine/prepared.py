@@ -1,0 +1,111 @@
+"""A prepared plan: the engine-side handle on one planned query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.datalog.program import DatalogProgram
+from repro.engine.explain import Explanation, build_explanation
+from repro.engine.result import Result
+from repro.engine.strategy import (
+    ExecuteOptions,
+    StrategyLike,
+    resolve_strategy,
+    streaming_unsupported,
+)
+from repro.exceptions import ReproError
+from repro.plan.parallel import StreamedAnswer
+from repro.plan.plan import QueryPlan
+from repro.query.conjunctive import ConjunctiveQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import Engine
+
+
+@dataclass
+class PreparedPlan:
+    """A query that has been parsed, validated and planned by an engine.
+
+    The prepared plan can be executed any number of times, with any
+    registered strategy; repeated executions within one engine session share
+    the session's meta-caches, so a prepared plan re-executed with a
+    plan-based strategy costs no further source accesses.
+    """
+
+    engine: "Engine"
+    query: ConjunctiveQuery
+    plan: QueryPlan
+
+    # -- execution -----------------------------------------------------------
+    def _options(self, options: Optional[ExecuteOptions], overrides: dict) -> ExecuteOptions:
+        base = options if options is not None else self.engine.default_options
+        return base.override(**overrides) if overrides else base
+
+    def execute(
+        self,
+        strategy: StrategyLike = "fast_fail",
+        options: Optional[ExecuteOptions] = None,
+        **overrides: object,
+    ) -> Result:
+        """Execute the plan with the given strategy and return a :class:`Result`.
+
+        Args:
+            strategy: a registered strategy name (``naive``, ``fast_fail``,
+                ``distillation``, ...) or an
+                :class:`~repro.engine.strategy.ExecutionStrategy` instance.
+            options: a full :class:`~repro.engine.strategy.ExecuteOptions`;
+                defaults to the engine's options.
+            **overrides: individual option fields to override, e.g.
+                ``max_accesses=100``.
+        """
+        resolved = resolve_strategy(strategy)
+        opts = self._options(options, overrides)
+        try:
+            return resolved.run(self, opts)
+        except ReproError as error:
+            raise error.with_context(query=self.query, plan=self.plan)
+
+    def stream(
+        self,
+        strategy: StrategyLike = "distillation",
+        options: Optional[ExecuteOptions] = None,
+        **overrides: object,
+    ) -> Iterator[StreamedAnswer]:
+        """Yield answers incrementally from a streaming strategy.
+
+        Defaults to the distillation scheduler, whose simulated parallel
+        wrappers produce answers as soon as they are derivable (Section V).
+        Strategy-resolution errors (unknown name, strategy without streaming
+        support) are raised here, at the call site, not at first iteration.
+        """
+        try:
+            resolved = resolve_strategy(strategy)
+            if not resolved.supports_streaming:
+                raise streaming_unsupported(resolved.name)
+            opts = self._options(options, overrides)
+        except ReproError as error:
+            raise error.with_context(query=self.query, plan=self.plan)
+        return self._stream(resolved, opts)
+
+    def _stream(self, resolved, opts: ExecuteOptions) -> Iterator[StreamedAnswer]:
+        try:
+            yield from resolved.stream(self, opts)
+        except ReproError as error:
+            raise error.with_context(query=self.query, plan=self.plan)
+
+    # -- inspection ----------------------------------------------------------
+    def explain(self) -> Explanation:
+        """Structured account of the planning pipeline for this query."""
+        return build_explanation(self)
+
+    def to_datalog(self) -> DatalogProgram:
+        """The plan as the Datalog program of Section IV."""
+        return self.plan.to_datalog()
+
+    @property
+    def answerable(self) -> bool:
+        return self.plan.answerable
+
+    def __str__(self) -> str:
+        return f"PreparedPlan({self.query})"

@@ -1,0 +1,146 @@
+"""The shared result type returned by every execution strategy.
+
+The three strategies of the seed each had their own result class with
+different fields (:class:`~repro.plan.naive.NaiveEvaluationResult`,
+:class:`~repro.plan.execution.ExecutionResult`,
+:class:`~repro.plan.parallel.DistillationResult`).  The engine normalizes
+them into one :class:`Result` so that callers — and the cross-strategy
+equivalence tests — can compare executions without caring which backend
+produced them.  The strategy-specific result stays available as ``raw``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.sources.log import AccessLog
+
+Row = Tuple[object, ...]
+
+
+class Termination(enum.Enum):
+    """Why an execution stopped."""
+
+    #: The strategy ran to completion and the answers are final.
+    COMPLETED = "completed"
+    #: The fast-failing test proved the answer empty before all accesses.
+    FAST_FAILED = "fast_failed"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SourceBreakdown:
+    """Per-source accounting of one execution."""
+
+    relation: str
+    accesses: int
+    distinct_rows: int
+    simulated_latency: float
+
+
+@dataclass(frozen=True)
+class Result:
+    """Outcome of executing a prepared plan with any strategy.
+
+    Attributes:
+        strategy: registry name of the strategy that produced the result.
+        answers: the obtainable answers to the query.
+        termination: why the execution stopped.
+        total_accesses: number of accesses made against the sources (reads
+            served by the session meta-cache are free and not counted).
+        per_source: per-relation breakdown ``(accesses, rows, latency)``.
+        elapsed_seconds: wall-clock duration of the execution.
+        simulated_latency: simulated time charged for the accesses.  For the
+            distillation strategy this is the parallel makespan; for the
+            sequential strategies it is the back-to-back sum.
+        time_to_first_answer: simulated time of the first answer, when the
+            strategy streams (None otherwise).
+        failed_at_position: ordering position at which the fast-failing test
+            cut the execution, if it did.
+        access_log: the ordered record of this execution's accesses.
+        raw: the strategy-specific result object, for callers that need the
+            full detail (e.g. the naive value pool or the answer times).
+    """
+
+    strategy: str
+    answers: FrozenSet[Row]
+    termination: Termination
+    total_accesses: int
+    per_source: Tuple[SourceBreakdown, ...]
+    elapsed_seconds: float
+    simulated_latency: float
+    time_to_first_answer: Optional[float] = None
+    failed_at_position: Optional[int] = None
+    access_log: AccessLog = field(default_factory=AccessLog, repr=False)
+    raw: object = field(default=None, repr=False)
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self.answers
+
+    def accesses_of(self, relation: str) -> int:
+        for breakdown in self.per_source:
+            if breakdown.relation == relation:
+                return breakdown.accesses
+        return 0
+
+    def rows_of(self, relation: str) -> int:
+        for breakdown in self.per_source:
+            if breakdown.relation == relation:
+                return breakdown.distinct_rows
+        return 0
+
+    def accessed_relations(self) -> List[str]:
+        return [breakdown.relation for breakdown in self.per_source]
+
+    # -- rendering -----------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view (used by the CLI and the benchmarks)."""
+        return {
+            "strategy": self.strategy,
+            "answers": sorted([list(row) for row in self.answers], key=repr),
+            "termination": self.termination.value,
+            "total_accesses": self.total_accesses,
+            "per_source": [
+                {
+                    "relation": breakdown.relation,
+                    "accesses": breakdown.accesses,
+                    "distinct_rows": breakdown.distinct_rows,
+                    "simulated_latency": breakdown.simulated_latency,
+                }
+                for breakdown in self.per_source
+            ],
+            "elapsed_seconds": self.elapsed_seconds,
+            "simulated_latency": self.simulated_latency,
+            "time_to_first_answer": self.time_to_first_answer,
+            "failed_at_position": self.failed_at_position,
+        }
+
+    def summary(self) -> str:
+        """Compact human-readable account of the execution."""
+        lines = [
+            f"strategy     : {self.strategy}",
+            f"termination  : {self.termination}",
+            f"answers      : {len(self.answers)}",
+            f"accesses     : {self.total_accesses}",
+            f"sim. latency : {self.simulated_latency:.4f}",
+            f"wall clock   : {self.elapsed_seconds:.4f}s",
+        ]
+        if self.time_to_first_answer is not None:
+            lines.append(f"first answer : {self.time_to_first_answer:.4f}")
+        if self.failed_at_position is not None:
+            lines.append(f"failed at pos: {self.failed_at_position}")
+        for breakdown in self.per_source:
+            lines.append(
+                f"  {breakdown.relation}: {breakdown.accesses} accesses, "
+                f"{breakdown.distinct_rows} rows"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.summary()

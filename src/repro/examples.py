@@ -1,0 +1,116 @@
+"""Ready-made schemas and instances, including the paper's running example.
+
+The running example follows the song database used throughout the paper
+(and in the parser's docstring): ``r1`` relates an artist to their nation
+and year of birth and requires the artist as input, ``r2`` relates a song
+to its year and artist and requires the song as input, and ``r3`` is a
+by-nation listing that is irrelevant for the example query.  The query
+
+    ``q(N) <- r1(A, N, Y1), r2('volare', Y2, A)``
+
+asks for the nation of the artist of the song *volare*; under the access
+limitations the only way in is through the constant ``'volare'``, which the
+constant-elimination step turns into an artificial free relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.model.instance import DatabaseInstance
+from repro.model.schema import Schema
+
+
+@dataclass(frozen=True)
+class Example:
+    """A packaged example: schema, data, a query, and its expected answers."""
+
+    name: str
+    schema: Schema
+    instance: DatabaseInstance
+    query_text: str
+    expected_answers: FrozenSet[Tuple[object, ...]]
+
+
+def running_example() -> Example:
+    """The paper's running example (song database with access limitations)."""
+    schema = Schema.from_signatures(
+        {
+            # r1^ioo(Artist, Nation, Year): given an artist, their nation and birth year.
+            "r1": ("ioo", ["Artist", "Nation", "Year"]),
+            # r2^ioo(Song, Year, Artist): given a song, its year and artist.
+            "r2": ("ioo", ["Song", "Year", "Artist"]),
+            # r3^io(Nation, Artist): given a nation, artists from it.  Irrelevant
+            # for the example query: it cannot contribute obtainable answers.
+            "r3": ("io", ["Nation", "Artist"]),
+        }
+    )
+    instance = DatabaseInstance(
+        schema,
+        {
+            "r1": [
+                ("Domenico Modugno", "Italy", 1928),
+                ("Adriano Celentano", "Italy", 1938),
+                ("Edith Piaf", "France", 1915),
+            ],
+            "r2": [
+                ("volare", 1958, "Domenico Modugno"),
+                ("azzurro", 1968, "Adriano Celentano"),
+                ("la vie en rose", 1946, "Edith Piaf"),
+            ],
+            "r3": [
+                ("Italy", "Domenico Modugno"),
+                ("Italy", "Adriano Celentano"),
+                ("France", "Edith Piaf"),
+            ],
+        },
+    )
+    return Example(
+        name="running-example",
+        schema=schema,
+        instance=instance,
+        query_text="q(N) <- r1(A, N, Y1), r2('volare', Y2, A)",
+        expected_answers=frozenset({("Italy",)}),
+    )
+
+
+def chain_example(length: int = 3, width: int = 4) -> Example:
+    """A synthetic chain ``free -> s1 -> s2 -> ...`` used by tests and benchmarks.
+
+    ``free^oo(D0, D1)`` seeds values; each ``s_k^ioo(D_k, D_{k+1}, Aux)``
+    consumes the previous stage's output.  The query joins the whole chain.
+    ``width`` controls how many distinct values flow through each stage.
+    Every stage also has a ``junk_k^io(D_k, Aux)`` relation that does not
+    occur in the query: the naive strategy accesses it with every value of
+    ``D_k`` while the plan-based strategies prune it as irrelevant, which is
+    what the benchmark measures.
+    """
+    if length < 1:
+        raise ValueError("chain_example needs length >= 1")
+    signatures = {"free": ("oo", ["D0", "D1"])}
+    for k in range(1, length + 1):
+        signatures[f"s{k}"] = ("ioo", [f"D{k}", f"D{k + 1}", "Aux"])
+        signatures[f"junk{k}"] = ("io", [f"D{k}", "Aux"])
+    schema = Schema.from_signatures(signatures)
+
+    instance = DatabaseInstance(schema)
+    for i in range(width):
+        instance.add_tuple("free", (f"v0_{i}", f"v1_{i}"))
+    for k in range(1, length + 1):
+        for i in range(width):
+            instance.add_tuple(f"s{k}", (f"v{k}_{i}", f"v{k + 1}_{i}", f"aux{k}_{i}"))
+            instance.add_tuple(f"junk{k}", (f"v{k}_{i}", f"junkaux{k}_{i}"))
+
+    body = ["free(X0, X1)"]
+    for k in range(1, length + 1):
+        body.append(f"s{k}(X{k}, X{k + 1}, A{k})")
+    query_text = f"q(X{length + 1}) <- " + ", ".join(body)
+    expected = frozenset({(f"v{length + 1}_{i}",) for i in range(width)})
+    return Example(
+        name=f"chain-{length}x{width}",
+        schema=schema,
+        instance=instance,
+        query_text=query_text,
+        expected_answers=expected,
+    )

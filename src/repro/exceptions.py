@@ -9,7 +9,25 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` library."""
+    """Base class for all errors raised by the ``repro`` library.
+
+    Every error can carry the offending ``query`` and/or ``plan`` so that
+    callers of the public :mod:`repro.engine` API can recover the context of
+    a failure programmatically (both default to ``None``).
+    """
+
+    def __init__(self, *args: object, query: object = None, plan: object = None) -> None:
+        super().__init__(*args)
+        self.query = query
+        self.plan = plan
+
+    def with_context(self, *, query: object = None, plan: object = None) -> "ReproError":
+        """Attach query/plan context in place (keeps the original traceback)."""
+        if query is not None and self.query is None:
+            self.query = query
+        if plan is not None and self.plan is None:
+            self.plan = plan
+        return self
 
 
 class SchemaError(ReproError):
@@ -82,3 +100,19 @@ class DatalogError(ReproError):
 
 class GenerationError(ReproError):
     """A synthetic workload could not be generated with the given settings."""
+
+
+class EngineError(ReproError):
+    """A failure at the :mod:`repro.engine` façade boundary.
+
+    Raised when the engine is constructed or used inconsistently (e.g. a
+    source registry over a different schema than the engine's).
+    """
+
+
+class StrategyError(EngineError):
+    """An execution strategy is unknown or unusable.
+
+    Raised by the strategy registry when a strategy name does not resolve,
+    or when a strategy is asked for a capability it lacks (e.g. streaming).
+    """

@@ -22,8 +22,8 @@ the fast-failing test fail early); this is implemented as a tie-break.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.exceptions import OrderingError
 from repro.graph.dgraph import Source

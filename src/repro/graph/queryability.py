@@ -16,10 +16,10 @@ returns the empty answer immediately for non-answerable ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import FrozenSet, Set, Tuple
 
 from repro.model.domains import AbstractDomain
-from repro.model.schema import RelationSchema, Schema
+from repro.model.schema import Schema
 from repro.query.conjunctive import ConjunctiveQuery
 
 

@@ -17,7 +17,7 @@ generator and the experiment harnesses reuse.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Set
 
 from repro.graph.dgraph import DependencyGraph, build_dependency_graph
 from repro.graph.gfp import (

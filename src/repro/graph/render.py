@@ -13,7 +13,7 @@ experiment harnesses and EXPERIMENTS.md:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.graph.dgraph import Arc, DependencyGraph, Node, Source
 from repro.graph.gfp import ArcMark, MarkedDependencyGraph, OptimizedDependencyGraph

@@ -8,7 +8,7 @@ a set of relation schemata with pairwise distinct names.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.exceptions import SchemaError

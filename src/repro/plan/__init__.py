@@ -13,13 +13,14 @@
 from repro.plan.execution import ExecutionOptions, ExecutionResult, FastFailingExecutor
 from repro.plan.minimal import MinimalPlanGenerator, generate_minimal_plan
 from repro.plan.naive import NaiveEvaluationResult, NaiveEvaluator
-from repro.plan.parallel import DistillationExecutor, DistillationResult
+from repro.plan.parallel import DistillationExecutor, DistillationResult, StreamedAnswer
 from repro.plan.plan import CachePredicate, ProviderSpec, QueryPlan
 
 __all__ = [
     "CachePredicate",
     "DistillationExecutor",
     "DistillationResult",
+    "StreamedAnswer",
     "ExecutionOptions",
     "ExecutionResult",
     "FastFailingExecutor",

@@ -23,13 +23,12 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import ExecutionError
 from repro.plan.plan import CachePredicate, ProviderSpec, QueryPlan
-from repro.sources.access import AccessTuple
-from repro.sources.cache import CacheDatabase, CacheTable
+from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
 from repro.sources.wrapper import SourceRegistry
 
@@ -102,11 +101,25 @@ class FastFailingExecutor:
         self.options = options or ExecutionOptions()
 
     # ------------------------------------------------------------------------------
-    def execute(self) -> ExecutionResult:
-        """Run the plan to completion (or to an early failure)."""
+    def execute(
+        self,
+        cache_db: Optional[CacheDatabase] = None,
+        log: Optional[AccessLog] = None,
+    ) -> ExecutionResult:
+        """Run the plan to completion (or to an early failure).
+
+        Args:
+            cache_db: an injected cache database.  The engine session passes a
+                database whose meta-caches are shared across queries, so that
+                an access already made by an earlier query of the session is
+                answered locally instead of hitting the source again.
+            log: an injected access log; a fresh one is created by default.
+        """
         started = time.perf_counter()
-        log = AccessLog()
-        cache_db = CacheDatabase()
+        if log is None:
+            log = AccessLog()
+        if cache_db is None:
+            cache_db = CacheDatabase()
         for cache in self.plan.caches.values():
             cache_db.create_cache(cache.name, cache.relation, cache.position)
 

@@ -25,11 +25,10 @@ answer is known to be empty — which is what makes it ⊂-minimal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.exceptions import PlanError, UnanswerableQueryError
-from repro.graph.dgraph import Node, Source
+from repro.graph.dgraph import Source
 from repro.graph.gfp import ArcMark
 from repro.graph.ordering import SourceOrdering, compute_ordering
 from repro.graph.queryability import analyze_queryability

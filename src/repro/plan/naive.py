@@ -20,7 +20,7 @@ relevant relations with useless bindings).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.exceptions import ExecutionError
@@ -86,10 +86,20 @@ class NaiveEvaluator:
         self.max_accesses = max_accesses
 
     # ------------------------------------------------------------------------------
-    def evaluate(self, query: ConjunctiveQuery) -> NaiveEvaluationResult:
-        """Extract all obtainable tuples and answer ``query`` over them."""
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        log: Optional[AccessLog] = None,
+    ) -> NaiveEvaluationResult:
+        """Extract all obtainable tuples and answer ``query`` over them.
+
+        Args:
+            query: the conjunctive query to answer.
+            log: an injected access log; a fresh one is created by default.
+        """
         query.validate_against(self.schema)
-        log = AccessLog()
+        if log is None:
+            log = AccessLog()
         cache: Dict[str, Set[Row]] = {relation.name: set() for relation in self.schema}
         pool: Dict[AbstractDomain, Set[object]] = {}
         tried: Set[AccessTuple] = set()

@@ -24,15 +24,30 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
+from repro.exceptions import ExecutionError
 from repro.plan.plan import CachePredicate, ProviderSpec, QueryPlan
-from repro.sources.access import AccessTuple
+from repro.sources.access import AccessRecord, AccessTuple
 from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
 from repro.sources.wrapper import SourceRegistry
 
 Row = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class StreamedAnswer:
+    """One incremental answer produced by the distillation scheduler.
+
+    Attributes:
+        row: the answer tuple.
+        simulated_time: simulated clock at which the tuple became derivable
+            (at the granularity of the answer-check interval).
+    """
+
+    row: Row
+    simulated_time: float
 
 
 @dataclass
@@ -93,6 +108,7 @@ class DistillationExecutor:
         queue_capacity: int = 64,
         answer_check_interval: int = 25,
         respect_ordering: bool = False,
+        max_accesses: Optional[int] = None,
     ) -> None:
         """Create a distillation executor.
 
@@ -111,6 +127,9 @@ class DistillationExecutor:
                 dispatched once every cache of a strictly smaller ordering
                 position has an empty backlog; the default (False) dispatches
                 as eagerly as possible, like the prototype.
+            max_accesses: optional safety bound on the number of source
+                accesses; exceeding it raises
+                :class:`~repro.exceptions.ExecutionError`.
         """
         self.plan = plan
         self.registry = registry
@@ -118,11 +137,63 @@ class DistillationExecutor:
         self.queue_capacity = queue_capacity
         self.answer_check_interval = max(1, answer_check_interval)
         self.respect_ordering = respect_ordering
+        self.max_accesses = max_accesses
+        #: Aggregate result of the most recent run (set when a run completes).
+        self.last_result: Optional[DistillationResult] = None
 
     # ------------------------------------------------------------------------------
-    def execute(self) -> DistillationResult:
-        log = AccessLog()
-        cache_db = CacheDatabase()
+    def execute(
+        self,
+        cache_db: Optional[CacheDatabase] = None,
+        log: Optional[AccessLog] = None,
+    ) -> DistillationResult:
+        """Run the simulation to completion and return the aggregate result."""
+        generator = self._run(cache_db=cache_db, log=log)
+        while True:
+            try:
+                next(generator)
+            except StopIteration as stop:
+                self.last_result = stop.value
+                return stop.value
+
+    def stream(
+        self,
+        cache_db: Optional[CacheDatabase] = None,
+        log: Optional[AccessLog] = None,
+    ) -> Iterator[StreamedAnswer]:
+        """Run the simulation, yielding answers incrementally as they derive.
+
+        Every answer tuple is yielded exactly once, timestamped with the
+        simulated clock (Section V: results are paginated to the user as soon
+        as they are available).  After exhaustion, the aggregate
+        :class:`DistillationResult` of this run is available as
+        ``self.last_result``.
+
+        Args:
+            cache_db: an injected cache database; when its meta-caches are
+                shared with earlier executions of the same engine session, an
+                access already made by any of them is served locally instead
+                of being dispatched to a wrapper.
+            log: an injected access log; a fresh one is created by default.
+        """
+        result = yield from self._run(cache_db=cache_db, log=log)
+        self.last_result = result
+
+    def _run(
+        self,
+        cache_db: Optional[CacheDatabase] = None,
+        log: Optional[AccessLog] = None,
+    ) -> Iterator[StreamedAnswer]:
+        """The simulation core: yields answers, returns the aggregate result.
+
+        All run state is local, so concurrent runs on one executor do not
+        interfere (``last_result`` is only a convenience set by the public
+        wrappers when a run completes).
+        """
+        if log is None:
+            log = AccessLog()
+        if cache_db is None:
+            cache_db = CacheDatabase()
         for cache in self.plan.caches.values():
             cache_db.create_cache(cache.name, cache.relation, cache.position)
             if cache.is_artificial:
@@ -141,7 +212,6 @@ class DistillationExecutor:
             name: [] for name in wrappers
         }
         offered: Set[Tuple[str, Tuple[object, ...]]] = set()
-        accessed: Set[AccessTuple] = set()
 
         answers: Set[Row] = set()
         answer_times: Dict[Row, float] = {}
@@ -150,8 +220,9 @@ class DistillationExecutor:
         sequential_time = 0.0
         completed_since_check = 0
 
-        def offer_new_work() -> None:
-            """Generate every currently enabled, not yet offered access tuple."""
+        def _offer_pass() -> bool:
+            """One pass over the caches; True when any cache or backlog changed."""
+            changed = False
             for cache in self.plan.caches.values():
                 if cache.is_artificial:
                     continue
@@ -161,15 +232,30 @@ class DistillationExecutor:
                     key = (cache.name, binding)
                     if key in offered:
                         continue
-                    access = AccessTuple(cache.relation.name, binding)
                     offered.add(key)
-                    if access in accessed:
-                        # Another occurrence already fetched this access tuple:
+                    meta = cache_db.meta_cache(cache.relation)
+                    if meta.has_access(binding):
+                        # Another occurrence — or an earlier query of the same
+                        # engine session — already fetched this access tuple:
                         # read the extraction from the meta-cache at no cost.
-                        meta = cache_db.meta_cache(cache.relation)
-                        cache_db.cache(cache.name).add_all(meta.rows_for(binding))
+                        if cache_db.cache(cache.name).add_all(meta.rows_for(binding)):
+                            changed = True
                         continue
+                    # Enqueueing work does not change cache contents, so it
+                    # cannot enable further bindings: no fixpoint re-scan.
                     pending[cache.relation.name].append(key)
+            return changed
+
+        def offer_new_work() -> None:
+            """Offer every enabled access, to a fixpoint.
+
+            Rows served from the (possibly session-shared) meta-caches can
+            transitively enable further bindings without any wrapper ever
+            running, so a single pass is not enough: iterate until nothing
+            new is offered or served.
+            """
+            while _offer_pass():
+                pass
 
         def refill_queues() -> None:
             for name, state in wrappers.items():
@@ -177,15 +263,19 @@ class DistillationExecutor:
                 while backlog and len(state.queue) < self.queue_capacity:
                     state.queue.append(backlog.pop(0))
 
-        def check_answers(now: float) -> None:
+        def check_answers(now: float) -> List[StreamedAnswer]:
+            """Evaluate the query over the caches; return the newly derived rows."""
             nonlocal first_answer_time
             current = self.plan.rewritten_query.evaluate(cache_db.contents())
+            fresh: List[StreamedAnswer] = []
             for row in current:
                 if row not in answer_times:
                     answer_times[row] = now
+                    fresh.append(StreamedAnswer(row=row, simulated_time=now))
             answers.update(current)
             if current and first_answer_time is None:
                 first_answer_time = now
+            return fresh
 
         offer_new_work()
         refill_queues()
@@ -201,6 +291,10 @@ class DistillationExecutor:
             cache_name, binding = state.queue.pop(0)
             cache = self.plan.caches[cache_name]
 
+            if self.max_accesses is not None and log.total_accesses >= self.max_accesses:
+                raise ExecutionError(
+                    f"distillation execution exceeded the access budget of {self.max_accesses}"
+                )
             access = AccessTuple(cache.relation.name, binding)
             rows = self.registry.access(cache.relation.name, binding, log=None)
             state.accesses += 1
@@ -210,10 +304,6 @@ class DistillationExecutor:
                 default=finish,
             )
             sequential_time += state.latency
-            accessed.add(access)
-            log.record_access = None  # type: ignore[attr-defined]
-            from repro.sources.access import AccessRecord
-
             log.record(
                 AccessRecord(
                     access=access,
@@ -229,13 +319,15 @@ class DistillationExecutor:
             completed_since_check += 1
             if rows and completed_since_check >= self.answer_check_interval:
                 completed_since_check = 0
-                check_answers(finish)
+                for streamed in check_answers(finish):
+                    yield streamed
 
             offer_new_work()
             refill_queues()
 
         total_time = max((state.busy_until for state in wrappers.values()), default=0.0)
-        check_answers(total_time)
+        for streamed in check_answers(total_time):
+            yield streamed
         return DistillationResult(
             answers=frozenset(answers),
             access_log=log,

@@ -19,11 +19,10 @@ provider specifications, which is all the fast-failing executor needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.datalog.program import DatalogProgram, Rule
-from repro.graph.gfp import OptimizedDependencyGraph, Solution
 from repro.graph.ordering import SourceOrdering
 from repro.graph.relevance import RelevanceAnalysis
 from repro.model.schema import RelationSchema, Schema

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Iterable, List, Mapping, Set, Tuple
 
 from repro.exceptions import QueryError
 from repro.model.schema import RelationSchema, Schema

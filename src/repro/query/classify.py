@@ -15,12 +15,12 @@ queries than [4].
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.model.domains import AbstractDomain
 from repro.model.schema import Schema
 from repro.query.conjunctive import ConjunctiveQuery
-from repro.query.terms import Constant, Term, Variable
+from repro.query.terms import Constant, Term
 
 
 @dataclass(frozen=True)

@@ -10,12 +10,12 @@ body atom of ``q1``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.query.atoms import Atom
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.substitution import Substitution
-from repro.query.terms import Constant, Term, Variable
+from repro.query.terms import Constant, Term
 
 
 def _unify_terms(

@@ -10,13 +10,11 @@ it is still equivalent to the original.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.query.atoms import Atom
 from repro.query.conjunctive import ConjunctiveQuery
-from repro.query.homomorphism import find_atom_mapping, is_equivalent_to
-from repro.query.substitution import Substitution
-from repro.query.terms import Constant, Variable
+from repro.query.homomorphism import is_equivalent_to
 
 
 def is_minimal(query: ConjunctiveQuery) -> bool:

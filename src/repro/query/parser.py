@@ -17,7 +17,7 @@ UCQs are written one disjunct per line (or separated by ``;``).
 from __future__ import annotations
 
 import re
-from typing import List, Tuple
+from typing import List
 
 from repro.exceptions import ParseError
 from repro.query.atoms import Atom

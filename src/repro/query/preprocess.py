@@ -16,10 +16,9 @@ never feed each other.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Set, Tuple
 
-from repro.exceptions import QueryError
 from repro.model.access import AccessPattern
 from repro.model.domains import AbstractDomain
 from repro.model.schema import RelationSchema, Schema

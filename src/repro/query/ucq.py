@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Iterator, List, Mapping, Set, Tuple
+from typing import FrozenSet, Iterable, Iterator, Mapping, Set, Tuple
 
 from repro.exceptions import QueryError
 from repro.model.schema import Schema

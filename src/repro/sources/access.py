@@ -10,7 +10,7 @@ on a database is the quantity the paper's minimality notions compare.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Tuple
 
 from repro.model.schema import RelationSchema

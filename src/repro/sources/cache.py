@@ -149,11 +149,18 @@ class AccessTable:
 
 
 class CacheDatabase:
-    """All cache tables of one execution, plus the per-relation meta-caches."""
+    """All cache tables of one execution, plus the per-relation meta-caches.
 
-    def __init__(self) -> None:
+    The meta-caches may be shared between several cache databases: an engine
+    session passes the same ``shared_meta`` mapping to every execution it
+    creates, so that the "never repeat an access" invariant holds *across*
+    the queries of the session, not just within one plan.  Cache tables are
+    always private to one execution (they are plan-specific).
+    """
+
+    def __init__(self, shared_meta: Optional[Dict[str, MetaCache]] = None) -> None:
         self._caches: Dict[str, CacheTable] = {}
-        self._meta: Dict[str, MetaCache] = {}
+        self._meta: Dict[str, MetaCache] = shared_meta if shared_meta is not None else {}
         self._access_tables: Dict[str, AccessTable] = {}
 
     # -- cache tables ------------------------------------------------------------

@@ -8,8 +8,7 @@ relation, which are exactly the columns of Figure 6 of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
 
 from repro.sources.access import AccessRecord, AccessTuple
 
@@ -27,6 +26,12 @@ class AccessLog:
         self._records.append(record)
         self._seen.add(record.access)
         self._rows_by_relation.setdefault(record.relation, set()).update(record.rows)
+
+    def extend(self, other: "AccessLog") -> None:
+        """Append every record of ``other`` (used to fold per-execution logs
+        into an engine session's cumulative log)."""
+        for record in other:
+            self.record(record)
 
     def was_accessed(self, access: AccessTuple) -> bool:
         """True when the exact (relation, binding) access was already made."""

@@ -14,8 +14,7 @@ accesses — while keeping experiments fast and deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
 
 from repro.exceptions import AccessError
 from repro.model.instance import DatabaseInstance, RelationInstance

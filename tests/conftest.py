@@ -1,0 +1,23 @@
+"""Shared fixtures: the paper's running example and engines over it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.examples import Example, chain_example, running_example
+
+
+@pytest.fixture()
+def example() -> Example:
+    return running_example()
+
+
+@pytest.fixture()
+def engine(example: Example) -> Engine:
+    return Engine(example.schema, example.instance)
+
+
+@pytest.fixture()
+def chain() -> Example:
+    return chain_example(length=3, width=4)

@@ -1,0 +1,94 @@
+"""The ``python -m repro`` CLI: plan / run / explain on the built-in example
+and on a JSON workload file.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_example(capsys) -> None:
+    assert main(["run", "--example"]) == 0
+    output = capsys.readouterr().out
+    assert "Italy" in output
+    assert "fast_fail" in output
+
+
+@pytest.mark.parametrize("strategy", ["naive", "fast_fail", "distillation"])
+def test_run_json_all_strategies(capsys, strategy) -> None:
+    assert main(["run", "--example", "--strategy", strategy, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["answers"] == [["Italy"]]
+    assert payload["strategy"] == strategy
+
+
+def test_run_stream(capsys) -> None:
+    assert main(["run", "--example", "--stream", "--latency", "0.05"]) == 0
+    output = capsys.readouterr().out
+    assert "('Italy',)" in output
+    assert "1 answers streamed" in output
+
+
+def test_stream_rejects_non_streaming_strategy(capsys) -> None:
+    assert main(["run", "--example", "--stream", "--strategy", "naive"]) == 2
+    assert "does not support streaming" in capsys.readouterr().err
+
+
+def test_stream_json(capsys) -> None:
+    assert main(["run", "--example", "--stream", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == [{"row": ["Italy"], "simulated_time": payload[0]["simulated_time"]}]
+
+
+def test_plan_prints_datalog(capsys) -> None:
+    assert main(["plan", "--example"]) == 0
+    output = capsys.readouterr().out
+    assert "datalog program:" in output
+    assert "r1_hat_1" in output
+
+
+def test_explain_json(capsys) -> None:
+    assert main(["explain", "--example", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["answerable"] is True
+    assert payload["irrelevant_relations"] == ["r3"]
+    assert payload["ordering"]["unique"] is True
+
+
+def test_workload_file(tmp_path, capsys) -> None:
+    workload = {
+        "relations": {
+            "free": {"pattern": "oo", "domains": ["A", "B"]},
+            "r": {"pattern": "io", "domains": ["B", "C"]},
+        },
+        "tuples": {
+            "free": [["a1", "b1"], ["a2", "b2"]],
+            "r": [["b1", "c1"], ["b2", "c2"], ["bX", "cX"]],
+        },
+        "query": "q(C) <- free(A, B), r(B, C)",
+    }
+    path = tmp_path / "workload.json"
+    path.write_text(json.dumps(workload))
+    assert main(["run", "--workload", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert sorted(payload["answers"]) == [["c1"], ["c2"]]
+
+
+def test_custom_query_overrides_workload_default(capsys) -> None:
+    assert main(["run", "--example", "--json", "q(Y2) <- r2('volare', Y2, A)"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["answers"] == [[1958]]
+
+
+def test_bad_query_exits_2(capsys) -> None:
+    assert main(["run", "--example", "q(X) <- nosuch(X)"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+
+
+def test_missing_source_exits_2(capsys) -> None:
+    assert main(["run", "q(X) <- r(X)"]) == 2

@@ -1,0 +1,69 @@
+"""The GFP optimization pipeline on the paper's running example.
+
+The running example query ``q(N) <- r1(A, N, Y1), r2('volare', Y2, A)``
+flows values ``'volare'`` → r2 → r1; relation r3 is irrelevant and every
+arc into or out of it must be deleted by the optimization.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import analyze_relevance, is_answerable
+from repro.graph.gfp import ArcMark
+from repro.query import parse_query
+
+
+@pytest.fixture()
+def analysis(example):
+    query = parse_query(example.query_text)
+    return analyze_relevance(query, example.schema)
+
+
+def test_relevance_split(analysis) -> None:
+    assert analysis.relevant == frozenset({"r1", "r2"})
+    assert analysis.irrelevant == frozenset({"r3"})
+
+
+def test_arcs_touching_irrelevant_relation_deleted(analysis) -> None:
+    for arc in analysis.graph.arcs:
+        relations = {arc.tail.source_id.split("#")[0], arc.head.source_id.split("#")[0]}
+        if "r3" in relations:
+            assert analysis.marked.mark_of(arc) is ArcMark.DELETED
+
+
+def test_surviving_arcs_form_the_volare_chain(analysis) -> None:
+    surviving = {
+        (arc.tail.source_id, arc.head.source_id)
+        for arc in analysis.graph.arcs
+        if analysis.marked.mark_of(arc) is not ArcMark.DELETED
+    }
+    # constant 'volare' feeds r2's Song input; r2's Artist output feeds r1.
+    assert any(tail.startswith("c_volare") and head.startswith("r2") for tail, head in surviving)
+    assert any(tail.startswith("r2") and head.startswith("r1") for tail, head in surviving)
+
+
+def test_optimized_graph_drops_irrelevant_sources(analysis) -> None:
+    names = analysis.optimized.relation_names()
+    assert "r3" not in names
+    assert {"r1", "r2"} <= set(names)
+
+
+def test_answerability(example) -> None:
+    query = parse_query(example.query_text)
+    assert is_answerable(query, example.schema)
+    # A query entered only through an input-limited relation is unanswerable:
+    # no value of r1's input domain (Artist) is obtainable from scratch.
+    blocked = parse_query("q(N) <- r1(A, N, Y)")
+    assert not is_answerable(blocked, example.schema)
+
+
+def test_gfp_statistics_exposed_via_explain(engine, example) -> None:
+    explanation = engine.explain(example.query_text)
+    stats = explanation.dgraph_stats
+    assert stats["sources"] == 4  # r1, r2, r3, artificial c_volare
+    assert stats["relevant_relations"] == 2
+    assert stats["irrelevant_relations"] == 1
+    assert stats["deleted"] >= 2
+    marks = {arc.mark for arc in explanation.arcs}
+    assert marks <= {"strong", "weak", "deleted"}

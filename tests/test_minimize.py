@@ -1,0 +1,58 @@
+"""Chandra–Merlin minimization and containment on small CQs."""
+
+from __future__ import annotations
+
+from repro.query import is_contained_in, is_equivalent_to, minimize_query, parse_query
+
+
+def test_redundant_atom_removed() -> None:
+    query = parse_query("q(X) <- r(X, Y), r(X, Z)")
+    minimal = minimize_query(query)
+    assert len(minimal.body) == 1
+    assert is_equivalent_to(minimal, query)
+
+
+def test_head_variable_blocks_collapse() -> None:
+    # Y is distinguished, so r(X, Y) cannot be folded onto r(X, 'a').
+    query = parse_query("q(X, Y) <- r(X, Y), r(X, 'a')")
+    minimal = minimize_query(query)
+    assert len(minimal.body) == 2
+
+
+def test_distinct_constants_not_collapsed() -> None:
+    query = parse_query("q(X) <- r(X, 'a'), r(X, 'b')")
+    minimal = minimize_query(query)
+    assert len(minimal.body) == 2
+
+
+def test_non_distinguished_variable_folds_onto_constant() -> None:
+    # Y → 'a' is a valid homomorphism: the query IS equivalent to its core.
+    query = parse_query("q(X) <- r(X, Y), r(X, 'a')")
+    minimal = minimize_query(query)
+    assert len(minimal.body) == 1
+
+
+def test_already_minimal_query_unchanged() -> None:
+    query = parse_query("q(N) <- r1(A, N, Y1), r2('volare', Y2, A)")
+    minimal = minimize_query(query)
+    assert minimal == query
+
+
+def test_containment_direction() -> None:
+    specific = parse_query("q(X) <- r(X, 'a')")
+    general = parse_query("q(X) <- r(X, Y)")
+    assert is_contained_in(specific, general)
+    assert not is_contained_in(general, specific)
+
+
+def test_minimized_query_used_by_engine_plan() -> None:
+    from repro import Engine
+    from repro.examples import running_example
+
+    example = running_example()
+    engine = Engine(example.schema, example.instance)
+    # Duplicate atom: the planner must minimize it away before planning.
+    prepared = engine.plan("q(N) <- r1(A, N, Y1), r1(A, N, Y1), r2('volare', Y2, A)")
+    assert len(prepared.plan.minimized_query.body) == 2
+    result = prepared.execute(strategy="fast_fail")
+    assert result.answers == example.expected_answers

@@ -1,0 +1,68 @@
+"""Parser round-trips and rejection of malformed queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParseError, ReproError
+from repro.query import Constant, Variable, parse_atom, parse_query, parse_ucq
+
+ROUND_TRIP_QUERIES = [
+    "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)",
+    "q(X, Y) <- r(X, 'a b'), s(Y, X), t(X, 3)",
+    "q() <- r(X, Y)",
+    "q(X) <- r(X, -2, 3.5)",
+    'q(X) <- r(X, "double quoted")',
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIP_QUERIES)
+def test_parse_str_round_trip(text: str) -> None:
+    query = parse_query(text)
+    assert parse_query(str(query)) == query
+
+
+def test_term_classification() -> None:
+    atom = parse_atom("r(X, _y, 'Lit', bare, 42)")
+    assert atom.terms[0] == Variable("X")
+    assert atom.terms[1] == Variable("_y")
+    assert atom.terms[2] == Constant("Lit")
+    assert atom.terms[3] == Constant("bare")
+    assert atom.terms[4] == Constant(42)
+
+
+def test_quoted_commas_and_parens_survive() -> None:
+    query = parse_query("q(X) <- r(X, 'a, (b)'), s(X)")
+    assert len(query.body) == 2
+    assert query.body[0].terms[1] == Constant("a, (b)")
+
+
+def test_ucq_split_on_semicolons_and_newlines() -> None:
+    ucq = parse_ucq("q(X) <- r(X); q(X) <- s(X)\nq(X) <- t(X)")
+    assert len(ucq.disjuncts) == 3
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "q(X) r(X)",  # no separator
+        "q(X) <- r(X",  # unbalanced parens
+        "q(X) <- r(X,)lol",  # trailing junk
+    ],
+)
+def test_parse_errors(bad: str) -> None:
+    with pytest.raises(ParseError) as info:
+        parse_query(bad)
+    assert isinstance(info.value, ReproError)
+
+
+def test_empty_body_is_query_error() -> None:
+    from repro.exceptions import QueryError
+
+    with pytest.raises(QueryError):
+        parse_query("q(X) <- ")
+
+
+def test_unsafe_head_variable_rejected() -> None:
+    with pytest.raises(ReproError):
+        parse_query("q(Z) <- r(X, Y)")
