@@ -1,15 +1,25 @@
-"""Benchmark: naive vs fast-failing execution on growing chain workloads.
+"""Benchmark: naive vs fast-failing vs distillation execution.
 
-Runs the engine over synthetic chain instances of increasing size (see
-:func:`repro.examples.chain_example`) and emits ``BENCH_engine.json`` with,
-per configuration and strategy: number of source accesses, wall-clock
-seconds, and simulated access latency.  The chain workloads include
-irrelevant ``junk`` relations, so the gap between the two strategies is the
-quantity the paper's optimization is about (Figure 6).
+Runs the engine over synthetic workloads of increasing size — chain
+instances (see :func:`repro.examples.chain_example`) plus a wide-fanout
+instance whose middle tier accumulates ~1000 provider values (see
+:func:`repro.examples.wide_fanout_example`) — and emits
+``BENCH_engine.json`` with, per workload and strategy: number of source
+accesses, wall-clock seconds, and simulated access latency.  The chain
+workloads include irrelevant ``junk`` relations, so the access-count gap
+between naive and the plan-based strategies is the quantity the paper's
+optimization is about (Figure 6); the wide-fanout workload stresses binding
+generation and the event loop, the quantities the distillation scheduler's
+delta-driven indexes are about.
+
+Every strategy's answer set is checked against the workload's expected
+answers, so any cross-strategy divergence (naive vs fast_fail vs
+distillation) fails the run — the benchmark doubles as an equivalence test
+(``--smoke`` runs just the two smallest workloads for CI).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py [--output BENCH_engine.json]
+    PYTHONPATH=src python benchmarks/bench_engine.py [--output BENCH_engine.json] [--smoke]
 """
 
 from __future__ import annotations
@@ -24,23 +34,23 @@ from typing import Dict, List
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import Engine  # noqa: E402
-from repro.examples import chain_example  # noqa: E402
+from repro.examples import Example, chain_example, wide_fanout_example  # noqa: E402
 
 #: (length, width) of the generated chains, in growing total-tuple order.
-CONFIGURATIONS = [(2, 4), (3, 8), (4, 12), (5, 16), (6, 24)]
+CHAIN_CONFIGURATIONS = [(2, 4), (3, 8), (4, 12), (5, 16), (6, 24)]
 
 #: Simulated per-access latency charged by the wrappers.
 ACCESS_LATENCY = 0.01
 
-STRATEGIES = ("naive", "fast_fail")
+#: Completed accesses between incremental answer checks (distillation).
+ANSWER_CHECK_INTERVAL = 25
+
+STRATEGIES = ("naive", "fast_fail", "distillation")
 
 
-def bench_one(length: int, width: int) -> Dict[str, object]:
-    example = chain_example(length=length, width=width)
+def bench_one(example: Example) -> Dict[str, object]:
     entry: Dict[str, object] = {
         "workload": example.name,
-        "length": length,
-        "width": width,
         "total_tuples": example.instance.total_tuples(),
         "strategies": {},
     }
@@ -48,22 +58,36 @@ def bench_one(length: int, width: int) -> Dict[str, object]:
         engine = Engine(example.schema, example.instance, latency=ACCESS_LATENCY)
         started = time.perf_counter()
         result = engine.execute(
-            example.query_text, strategy=strategy, share_session_cache=False
+            example.query_text,
+            strategy=strategy,
+            share_session_cache=False,
+            answer_check_interval=ANSWER_CHECK_INTERVAL,
         )
         wall = time.perf_counter() - started
         assert result.answers == example.expected_answers, (
             f"{strategy} returned wrong answers on {example.name}"
         )
-        entry["strategies"][strategy] = {  # type: ignore[index]
+        record = {
             "accesses": result.total_accesses,
             "wall_seconds": round(wall, 6),
             "simulated_latency": round(result.simulated_latency, 6),
             "answers": len(result.answers),
         }
+        if result.time_to_first_answer is not None:
+            record["time_to_first_answer"] = round(result.time_to_first_answer, 6)
+        entry["strategies"][strategy] = record  # type: ignore[index]
     naive = entry["strategies"]["naive"]["accesses"]  # type: ignore[index]
     fast = entry["strategies"]["fast_fail"]["accesses"]  # type: ignore[index]
     entry["access_ratio"] = round(naive / fast, 3) if fast else None
     return entry
+
+
+def workloads(smoke: bool) -> List[Example]:
+    chains = CHAIN_CONFIGURATIONS[:2] if smoke else CHAIN_CONFIGURATIONS
+    examples = [chain_example(length=length, width=width) for length, width in chains]
+    if not smoke:
+        examples.append(wide_fanout_example())
+    return examples
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -71,24 +95,35 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--output", default="BENCH_engine.json", help="where to write the JSON report"
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the two smallest workloads (CI cross-strategy equivalence check)",
+    )
     args = parser.parse_args(argv)
 
     results = []
-    for length, width in CONFIGURATIONS:
-        entry = bench_one(length, width)
+    for example in workloads(args.smoke):
+        entry = bench_one(example)
         results.append(entry)
-        fast = entry["strategies"]["fast_fail"]  # type: ignore[index]
-        naive = entry["strategies"]["naive"]  # type: ignore[index]
+        strategies = entry["strategies"]  # type: ignore[assignment]
         print(
-            f"{entry['workload']:>12}: naive {naive['accesses']:>5} accesses "
-            f"/ fast_fail {fast['accesses']:>5} accesses "
-            f"(ratio {entry['access_ratio']})"
+            f"{entry['workload']:>18}: "
+            + " / ".join(
+                f"{name} {record['accesses']:>5} accesses {record['wall_seconds']:.3f}s"
+                for name, record in strategies.items()  # type: ignore[union-attr]
+            )
+            + f" (ratio {entry['access_ratio']})"
         )
 
     report = {
         "benchmark": "bench_engine",
-        "description": "naive vs fast_fail accesses/wall/simulated latency on growing chains",
+        "description": (
+            "naive vs fast_fail vs distillation accesses/wall/simulated latency "
+            "on growing chains and a wide-fanout workload"
+        ),
         "access_latency": ACCESS_LATENCY,
+        "answer_check_interval": ANSWER_CHECK_INTERVAL,
         "results": results,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")

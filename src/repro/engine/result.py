@@ -27,6 +27,9 @@ class Termination(enum.Enum):
     COMPLETED = "completed"
     #: The fast-failing test proved the answer empty before all accesses.
     FAST_FAILED = "fast_failed"
+    #: The access budget (``max_accesses``) stopped the execution early;
+    #: the answers derived up to that point are reported, but more may exist.
+    BUDGET_EXHAUSTED = "budget_exhausted"
 
     def __str__(self) -> str:
         return self.value
@@ -82,6 +85,11 @@ class Result:
     @property
     def is_empty(self) -> bool:
         return not self.answers
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """True when the access budget cut the run; ``answers`` is then a lower bound."""
+        return self.termination is Termination.BUDGET_EXHAUSTED
 
     def accesses_of(self, relation: str) -> int:
         for breakdown in self.per_source:

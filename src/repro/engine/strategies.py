@@ -38,9 +38,7 @@ def _breakdown(
     entries: List[SourceBreakdown] = []
     total_latency = 0.0
     for relation, (accesses, rows) in log.per_relation_summary().items():
-        latency = registry.wrapper(relation).latency if relation in registry else 0.0
-        if latency <= 0:
-            latency = default_latency
+        latency = registry.latency_of(relation, default_latency)
         simulated = accesses * latency
         total_latency += simulated
         entries.append(
@@ -169,7 +167,11 @@ class DistillationStrategy(ExecutionStrategy):
         return Result(
             strategy=self.name,
             answers=raw.answers,
-            termination=Termination.COMPLETED,
+            termination=(
+                Termination.BUDGET_EXHAUSTED
+                if raw.budget_exhausted
+                else Termination.COMPLETED
+            ),
             total_accesses=raw.total_accesses,
             per_source=per_source,
             elapsed_seconds=elapsed,

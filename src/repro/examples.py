@@ -114,3 +114,47 @@ def chain_example(length: int = 3, width: int = 4) -> Example:
         query_text=query_text,
         expected_answers=expected,
     )
+
+
+def wide_fanout_example(width: int = 36, fanout: int = 28) -> Example:
+    """A workload with a very wide middle tier, stressing binding generation.
+
+    ``seed^oo(D1, Aux)`` emits ``width`` values; ``fan^ioo(D1, D2, Aux)``
+    expands each of them into ``fanout`` distinct mid-tier values; and
+    ``collect^ioo(D2, D3, Aux)`` maps every mid-tier value to one answer, so
+    the collect cache accumulates ``width * fanout`` input values one access
+    at a time.  An executor that re-enumerates the full provider cross
+    product on every pass does quadratic work in that tier, while the
+    delta-driven generators touch each value once.  ``junk^io(D2, Aux)``
+    does not occur in the query and is pruned by the plan-based strategies,
+    exactly like the chain's junk relations.
+    """
+    if width < 1 or fanout < 1:
+        raise ValueError("wide_fanout_example needs width >= 1 and fanout >= 1")
+    schema = Schema.from_signatures(
+        {
+            "seed": ("oo", ["D1", "Aux"]),
+            "fan": ("ioo", ["D1", "D2", "Aux"]),
+            "collect": ("ioo", ["D2", "D3", "Aux"]),
+            "junk": ("io", ["D2", "Aux"]),
+        }
+    )
+    instance = DatabaseInstance(schema)
+    for i in range(width):
+        instance.add_tuple("seed", (f"u{i}", f"sa{i}"))
+        for j in range(fanout):
+            mid = f"m{i}_{j}"
+            instance.add_tuple("fan", (f"u{i}", mid, f"fa{i}_{j}"))
+            instance.add_tuple("collect", (mid, f"z{i}_{j}", f"ca{i}_{j}"))
+            instance.add_tuple("junk", (mid, f"ja{i}_{j}"))
+    query_text = "q(X3) <- seed(X1, A0), fan(X1, X2, A1), collect(X2, X3, A2)"
+    expected = frozenset(
+        {(f"z{i}_{j}",) for i in range(width) for j in range(fanout)}
+    )
+    return Example(
+        name=f"wide-fanout-{width}x{fanout}",
+        schema=schema,
+        instance=instance,
+        query_text=query_text,
+        expected_answers=expected,
+    )

@@ -21,13 +21,13 @@ answer is known to be empty; this is what makes the plan ⊂-minimal.
 
 from __future__ import annotations
 
-import itertools
 import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.exceptions import ExecutionError
-from repro.plan.plan import CachePredicate, ProviderSpec, QueryPlan
+from repro.plan.bindings import CacheBindingGenerator
+from repro.plan.plan import CachePredicate, QueryPlan
 from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
 from repro.sources.wrapper import SourceRegistry
@@ -130,6 +130,12 @@ class FastFailingExecutor:
                 facts = self.plan.constant_facts.get(cache.relation.name, frozenset())
                 cache_db.cache(cache.name).add_all(facts)
 
+        generators: Dict[str, CacheBindingGenerator] = {
+            cache.name: CacheBindingGenerator(cache, cache_db)
+            for cache in self.plan.caches.values()
+            if not cache.is_artificial
+        }
+
         failed_fast = False
         failed_at: Optional[int] = None
         for position in self.plan.positions():
@@ -137,7 +143,7 @@ class FastFailingExecutor:
                 failed_fast = True
                 failed_at = position
                 break
-            self._populate_position(position, cache_db, log)
+            self._populate_position(position, cache_db, log, generators)
 
         if failed_fast:
             answers: FrozenSet[Row] = frozenset()
@@ -180,19 +186,25 @@ class FastFailingExecutor:
         position: int,
         cache_db: CacheDatabase,
         log: AccessLog,
+        generators: Dict[str, CacheBindingGenerator],
     ) -> None:
-        """Populate all caches of one ordering position to a fixpoint."""
+        """Populate all caches of one ordering position to a fixpoint.
+
+        Each pass asks every cache's binding generator only for the bindings
+        enabled by values that arrived since the previous pass (semi-naive),
+        so the fixpoint costs time proportional to the new bindings, not to
+        the full provider cross product per pass.
+        """
         caches = [
             cache
             for cache in self.plan.caches_at(position)
             if not cache.is_artificial
         ]
-        tried_by_cache: Dict[str, Set[Tuple[object, ...]]] = {cache.name: set() for cache in caches}
         changed = True
         while changed:
             changed = False
             for cache in caches:
-                if self._populate_cache_once(cache, cache_db, log, tried_by_cache[cache.name]):
+                if self._populate_cache_once(cache, cache_db, log, generators[cache.name]):
                     changed = True
 
     def _populate_cache_once(
@@ -200,49 +212,17 @@ class FastFailingExecutor:
         cache: CachePredicate,
         cache_db: CacheDatabase,
         log: AccessLog,
-        tried: Set[Tuple[object, ...]],
+        generator: CacheBindingGenerator,
     ) -> bool:
         """Issue every newly enabled access of one cache; True when anything changed."""
         table = cache_db.cache(cache.name)
         meta = cache_db.meta_cache(cache.relation)
         changed = False
-        for binding in self._enabled_bindings(cache, cache_db):
-            if binding in tried:
-                continue
-            tried.add(binding)
+        for binding in generator.fresh_bindings():
             rows = self._fetch(cache, binding, meta, log)
             if table.add_all(rows):
                 changed = True
         return changed
-
-    def _enabled_bindings(
-        self,
-        cache: CachePredicate,
-        cache_db: CacheDatabase,
-    ) -> Iterable[Tuple[object, ...]]:
-        """Bindings of the input arguments currently supplied by the providers."""
-        input_positions = cache.input_positions
-        if not input_positions:
-            return ((),)
-        value_sets: List[List[object]] = []
-        for input_position in input_positions:
-            provider = cache.provider_for(input_position)
-            values = self._provider_values(provider, cache_db)
-            if not values:
-                return ()
-            value_sets.append(sorted(values, key=repr))
-        return itertools.product(*value_sets)
-
-    def _provider_values(self, provider: ProviderSpec, cache_db: CacheDatabase) -> Set[object]:
-        """Values supplied by a domain provider (union or intersection of origins)."""
-        collected: Optional[Set[object]] = None
-        for origin_cache, origin_position in provider.origins:
-            origin_values = cache_db.cache(origin_cache).values_at(origin_position)
-            if provider.conjunctive:
-                collected = origin_values if collected is None else collected & origin_values
-            else:
-                collected = origin_values if collected is None else collected | origin_values
-        return collected or set()
 
     def _fetch(
         self,

@@ -15,19 +15,25 @@ This is the baseline against which the optimized plans are compared in the
 experimental evaluation: it makes many accesses that are unnecessary
 (accessing relations that are irrelevant for the query, and accessing
 relevant relations with useless bindings).
+
+The pool keeps, per abstract domain, both a membership set and an
+append-only log of the distinct values in arrival order; each relation
+enumerates its candidate bindings through a
+:class:`~repro.plan.bindings.DeltaProduct` over the logs of its input
+domains, so a round costs time proportional to the *new* bindings rather
+than re-enumerating the full cross product and skipping the tried ones.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import ExecutionError
 from repro.model.domains import AbstractDomain
 from repro.model.schema import RelationSchema, Schema
+from repro.plan.bindings import DeltaProduct
 from repro.query.conjunctive import ConjunctiveQuery
-from repro.sources.access import AccessTuple
 from repro.sources.log import AccessLog
 from repro.sources.wrapper import SourceRegistry
 
@@ -61,6 +67,26 @@ class NaiveEvaluationResult:
 
     def rows_of(self, relation: str) -> int:
         return len(self.cache.get(relation, ()))
+
+
+class _ValuePool:
+    """The pool ``B``: per-domain membership sets plus append-only value logs."""
+
+    def __init__(self) -> None:
+        self.sets: Dict[AbstractDomain, Set[object]] = {}
+        self._logs: Dict[AbstractDomain, List[object]] = {}
+
+    def log(self, domain_: AbstractDomain) -> List[object]:
+        """The live, append-only log of one domain (created on first use)."""
+        return self._logs.setdefault(domain_, [])
+
+    def add(self, domain_: AbstractDomain, value: object) -> bool:
+        values = self.sets.setdefault(domain_, set())
+        if value in values:
+            return False
+        values.add(value)
+        self.log(domain_).append(value)
+        return True
 
 
 class NaiveEvaluator:
@@ -101,27 +127,34 @@ class NaiveEvaluator:
         if log is None:
             log = AccessLog()
         cache: Dict[str, Set[Row]] = {relation.name: set() for relation in self.schema}
-        pool: Dict[AbstractDomain, Set[object]] = {}
-        tried: Set[AccessTuple] = set()
+        pool = _ValuePool()
 
         # Step 1: initialize B with the constants of the query, typed by the
         # abstract domains of the positions where they occur.
         for constant, domains in query.constant_domains(self.schema).items():
             for domain_ in domains:
-                pool.setdefault(domain_, set()).add(constant.value)
+                pool.add(domain_, constant.value)
 
+        # One delta product per relation over the logs of its input domains:
+        # each round enumerates only the bindings not produced before.
+        products: Dict[str, DeltaProduct] = {
+            relation.name: DeltaProduct(
+                [pool.log(domain_) for domain_ in relation.input_domains]
+            )
+            for relation in self.schema
+        }
+        free_accessed: Set[str] = set()
+
+        attempted = 0
         rounds = 0
         changed = True
         while changed:
             changed = False
             rounds += 1
             for relation in self.schema:
-                for binding in self._candidate_bindings(relation, pool):
-                    access = AccessTuple(relation.name, binding)
-                    if access in tried:
-                        continue
-                    tried.add(access)
-                    if self.max_accesses is not None and len(tried) > self.max_accesses:
+                for binding in self._fresh_bindings(relation, products, free_accessed):
+                    attempted += 1
+                    if self.max_accesses is not None and attempted > self.max_accesses:
                         raise ExecutionError(
                             f"naive evaluation exceeded the access budget of {self.max_accesses}"
                         )
@@ -136,35 +169,37 @@ class NaiveEvaluator:
             answers=answers,
             access_log=log,
             cache=cache,
-            value_pool=pool,
+            value_pool=pool.sets,
             rounds=rounds,
         )
 
     # ------------------------------------------------------------------------------
-    def _candidate_bindings(
+    def _fresh_bindings(
         self,
         relation: RelationSchema,
-        pool: Mapping[AbstractDomain, Set[object]],
-    ) -> Iterable[Tuple[object, ...]]:
-        """All bindings for the input arguments of ``relation`` drawn from the pool."""
-        input_domains = relation.input_domains
-        if not input_domains:
-            return ((),)
-        value_sets: List[List[object]] = []
-        for domain_ in input_domains:
-            values = pool.get(domain_)
-            if not values:
-                return ()
-            value_sets.append(sorted(values, key=repr))
-        return itertools.product(*value_sets)
+        products: Dict[str, DeltaProduct],
+        free_accessed: Set[str],
+    ) -> Iterator[Tuple[object, ...]]:
+        """The candidate bindings of ``relation`` not yet enumerated."""
+        if not relation.input_domains:
+            # A free relation is accessed exactly once, with the empty binding.
+            if relation.name in free_accessed:
+                return iter(())
+            free_accessed.add(relation.name)
+            return iter(((),))
+        return products[relation.name].fresh()
 
     def _pour_values(
         self,
         relation: RelationSchema,
         rows: Iterable[Row],
-        pool: Dict[AbstractDomain, Set[object]],
+        pool: _ValuePool,
     ) -> None:
-        """Add every value of the retrieved rows to the pool of its abstract domain."""
-        for row in rows:
+        """Add every value of the retrieved rows to the pool of its abstract domain.
+
+        Rows are poured in sorted order so the pool logs — and therefore the
+        binding enumeration order — never depend on set iteration order.
+        """
+        for row in sorted(rows, key=repr):
             for position, value in enumerate(row):
-                pool.setdefault(relation.domain_at(position), set()).add(value)
+                pool.add(relation.domain_at(position), value)

@@ -7,9 +7,23 @@ not full), so that as many sources as possible are accessed in parallel and
 answers are produced as early as possible, to be streamed to the user
 incrementally.
 
-The implementation below is a deterministic discrete-event simulation of that
-behaviour: every wrapper processes its queue sequentially, each access takes
-the wrapper's latency, and wrappers run concurrently on the simulated clock.
+The implementation below is a deterministic discrete-event simulation of
+that behaviour, driven by a heap of access-completion events keyed on
+``(finish_time, relation)``:
+
+* every wrapper processes its FIFO queue sequentially, each access taking
+  the wrapper's latency, and wrappers run concurrently on the simulated
+  clock;
+* the earliest-finishing in-flight access is popped from the event heap in
+  O(log w); the simulated clock is the finish time of the last completed
+  access and is asserted to be non-decreasing (answers can never be
+  timestamped before the accesses that derived them);
+* after each completion, newly enabled access tuples are offered from the
+  cache database via delta-driven binding generation
+  (:mod:`repro.plan.bindings`): only bindings involving values that arrived
+  since the previous offer pass are enumerated, instead of the full cross
+  product of all provider values.
+
 The simulation reports the total (simulated) execution time and the time at
 which the first answer became available — the quantity the paper highlights
 when arguing that result pagination makes the system practical.
@@ -22,18 +36,22 @@ paper.
 
 from __future__ import annotations
 
-import itertools
+import heapq
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import Deque, Dict, FrozenSet, Iterator, List, Mapping, Optional, Set, Tuple
 
-from repro.exceptions import ExecutionError
-from repro.plan.plan import CachePredicate, ProviderSpec, QueryPlan
+from repro.plan.bindings import CacheBindingGenerator
+from repro.plan.plan import CachePredicate, QueryPlan
 from repro.sources.access import AccessRecord, AccessTuple
 from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
 from repro.sources.wrapper import SourceRegistry
 
 Row = Tuple[object, ...]
+
+#: One unit of wrapper work: ``(cache_name, binding)``.
+WorkItem = Tuple[str, Tuple[object, ...]]
 
 
 @dataclass(frozen=True)
@@ -56,9 +74,11 @@ class _WrapperState:
 
     relation: str
     latency: float
-    queue: List[Tuple[str, Tuple[object, ...]]] = field(default_factory=list)
+    queue: Deque[WorkItem] = field(default_factory=deque)
     busy_until: float = 0.0
     accesses: int = 0
+    #: True while the head of the queue has a completion event in the heap.
+    scheduled: bool = False
 
 
 @dataclass
@@ -66,7 +86,8 @@ class DistillationResult:
     """Outcome of a distillation-based (parallel) execution.
 
     Attributes:
-        answers: the obtainable answers to the query.
+        answers: the obtainable answers to the query (all of them, or the
+            ones derived so far when the access budget ran out).
         access_log: the accesses performed, with their simulated completion
             times.
         total_time: simulated time at which the last access completed.
@@ -76,6 +97,9 @@ class DistillationResult:
             the granularity of the answer-check interval).
         sequential_time: what the total time would have been with a single
             wrapper processing all accesses back to back (for comparison).
+        budget_exhausted: True when ``max_accesses`` stopped the dispatch
+            loop before the plan reached its fixpoint; the answers derived
+            up to that point are still reported.
     """
 
     answers: FrozenSet[Row]
@@ -84,6 +108,7 @@ class DistillationResult:
     time_to_first_answer: Optional[float]
     answer_times: Dict[Row, float]
     sequential_time: float
+    budget_exhausted: bool = False
 
     @property
     def total_accesses(self) -> int:
@@ -118,8 +143,8 @@ class DistillationExecutor:
                 from the wrappers themselves when non-zero, otherwise
                 ``default_latency`` is used.
             queue_capacity: maximum number of access tuples waiting at one
-                wrapper; further tuples stay in the access tables until a
-                slot frees up.
+                wrapper; further tuples stay in the backlog until a slot
+                frees up.
             answer_check_interval: evaluate the query over the caches every
                 this many completed accesses (and at the end) to timestamp
                 answer arrivals.
@@ -127,9 +152,11 @@ class DistillationExecutor:
                 dispatched once every cache of a strictly smaller ordering
                 position has an empty backlog; the default (False) dispatches
                 as eagerly as possible, like the prototype.
-            max_accesses: optional safety bound on the number of source
-                accesses; exceeding it raises
-                :class:`~repro.exceptions.ExecutionError`.
+            max_accesses: optional bound on the number of source accesses.
+                When the budget is reached, dispatching stops, a final
+                answer check runs, and the result is returned with
+                ``budget_exhausted=True`` — the answers already derived are
+                never discarded.
         """
         self.plan = plan
         self.registry = registry
@@ -204,14 +231,17 @@ class DistillationExecutor:
         for cache in self.plan.caches.values():
             if cache.is_artificial or cache.relation.name in wrappers:
                 continue
-            wrapper = self.registry.wrapper(cache.relation.name)
-            latency = wrapper.latency if wrapper.latency > 0 else self.default_latency
+            latency = self.registry.latency_of(cache.relation.name, self.default_latency)
             wrappers[cache.relation.name] = _WrapperState(cache.relation.name, latency)
 
-        pending: Dict[str, List[Tuple[str, Tuple[object, ...]]]] = {
-            name: [] for name in wrappers
+        pending: Dict[str, Deque[WorkItem]] = {name: deque() for name in wrappers}
+        generators: Dict[str, CacheBindingGenerator] = {
+            cache.name: CacheBindingGenerator(cache, cache_db)
+            for cache in self.plan.caches.values()
+            if not cache.is_artificial
         }
-        offered: Set[Tuple[str, Tuple[object, ...]]] = set()
+        #: Completion events of the in-flight accesses: ``(finish, relation)``.
+        events: List[Tuple[float, str]] = []
 
         answers: Set[Row] = set()
         answer_times: Dict[Row, float] = {}
@@ -219,20 +249,19 @@ class DistillationExecutor:
         clock = 0.0
         sequential_time = 0.0
         completed_since_check = 0
+        budget_exhausted = False
 
         def _offer_pass() -> bool:
-            """One pass over the caches; True when any cache or backlog changed."""
+            """One pass over the caches; True when any cache's contents changed."""
             changed = False
             for cache in self.plan.caches.values():
                 if cache.is_artificial:
                     continue
                 if self.respect_ordering and self._has_earlier_backlog(cache, pending, wrappers):
                     continue
-                for binding in self._enabled_bindings(cache, cache_db):
-                    key = (cache.name, binding)
-                    if key in offered:
-                        continue
-                    offered.add(key)
+                # The generator yields each binding of this cache exactly
+                # once over the whole run, so no dedup set is needed here.
+                for binding in generators[cache.name].fresh_bindings():
                     meta = cache_db.meta_cache(cache.relation)
                     if meta.has_access(binding):
                         # Another occurrence — or an earlier query of the same
@@ -243,7 +272,7 @@ class DistillationExecutor:
                         continue
                     # Enqueueing work does not change cache contents, so it
                     # cannot enable further bindings: no fixpoint re-scan.
-                    pending[cache.relation.name].append(key)
+                    pending[cache.relation.name].append((cache.name, binding))
             return changed
 
         def offer_new_work() -> None:
@@ -257,11 +286,16 @@ class DistillationExecutor:
             while _offer_pass():
                 pass
 
-        def refill_queues() -> None:
+        def refill_queues(now: float) -> None:
+            """Move backlog into free queue slots and schedule idle wrappers."""
             for name, state in wrappers.items():
                 backlog = pending[name]
                 while backlog and len(state.queue) < self.queue_capacity:
-                    state.queue.append(backlog.pop(0))
+                    state.queue.append(backlog.popleft())
+                if state.queue and not state.scheduled:
+                    start = max(state.busy_until, now)
+                    state.scheduled = True
+                    heapq.heappush(events, (start + state.latency, name))
 
         def check_answers(now: float) -> List[StreamedAnswer]:
             """Evaluate the query over the caches; return the newly derived rows."""
@@ -278,31 +312,30 @@ class DistillationExecutor:
             return fresh
 
         offer_new_work()
-        refill_queues()
+        refill_queues(clock)
 
-        while any(state.queue for state in wrappers.values()) or any(pending.values()):
-            # Pick the wrapper that finishes its next queued access earliest.
-            ready = [state for state in wrappers.values() if state.queue]
-            if not ready:
+        while events:
+            finish, relation = heapq.heappop(events)
+            state = wrappers[relation]
+            state.scheduled = False
+            if finish < clock:
+                raise AssertionError(
+                    f"simulated clock would move backwards ({finish:.6f} < {clock:.6f}); "
+                    "the event heap violated monotonicity"
+                )
+            clock = finish
+            if self.max_accesses is not None and log.total_accesses >= self.max_accesses:
+                # Budget reached: stop dispatching, keep everything derived
+                # so far; the final answer check below timestamps the rest.
+                budget_exhausted = True
                 break
-            state = min(ready, key=lambda s: (max(s.busy_until, clock) + s.latency, s.relation))
-            start = max(state.busy_until, clock)
-            finish = start + state.latency
-            cache_name, binding = state.queue.pop(0)
+            cache_name, binding = state.queue.popleft()
             cache = self.plan.caches[cache_name]
 
-            if self.max_accesses is not None and log.total_accesses >= self.max_accesses:
-                raise ExecutionError(
-                    f"distillation execution exceeded the access budget of {self.max_accesses}"
-                )
             access = AccessTuple(cache.relation.name, binding)
             rows = self.registry.access(cache.relation.name, binding, log=None)
             state.accesses += 1
             state.busy_until = finish
-            clock = min(
-                (max(s.busy_until, 0.0) for s in wrappers.values() if s.queue),
-                default=finish,
-            )
             sequential_time += state.latency
             log.record(
                 AccessRecord(
@@ -323,7 +356,7 @@ class DistillationExecutor:
                     yield streamed
 
             offer_new_work()
-            refill_queues()
+            refill_queues(clock)
 
         total_time = max((state.busy_until for state in wrappers.values()), default=0.0)
         for streamed in check_answers(total_time):
@@ -335,13 +368,14 @@ class DistillationExecutor:
             time_to_first_answer=first_answer_time,
             answer_times=answer_times,
             sequential_time=sequential_time,
+            budget_exhausted=budget_exhausted,
         )
 
     # ------------------------------------------------------------------------------
     def _has_earlier_backlog(
         self,
         cache: CachePredicate,
-        pending: Mapping[str, List[Tuple[str, Tuple[object, ...]]]],
+        pending: Mapping[str, Deque[WorkItem]],
         wrappers: Mapping[str, _WrapperState],
     ) -> bool:
         """True when a cache of a smaller position still has queued work."""
@@ -353,28 +387,3 @@ class DistillationExecutor:
             ):
                 return True
         return False
-
-    def _enabled_bindings(
-        self, cache: CachePredicate, cache_db: CacheDatabase
-    ) -> Iterable[Tuple[object, ...]]:
-        input_positions = cache.input_positions
-        if not input_positions:
-            return ((),)
-        value_sets: List[List[object]] = []
-        for input_position in input_positions:
-            provider = cache.provider_for(input_position)
-            values = self._provider_values(provider, cache_db)
-            if not values:
-                return ()
-            value_sets.append(sorted(values, key=repr))
-        return itertools.product(*value_sets)
-
-    def _provider_values(self, provider: ProviderSpec, cache_db: CacheDatabase) -> Set[object]:
-        collected: Optional[Set[object]] = None
-        for origin_cache, origin_position in provider.origins:
-            origin_values = cache_db.cache(origin_cache).values_at(origin_position)
-            if provider.conjunctive:
-                collected = origin_values if collected is None else collected & origin_values
-            else:
-                collected = origin_values if collected is None else collected | origin_values
-        return collected or set()

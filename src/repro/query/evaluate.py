@@ -71,7 +71,14 @@ def evaluate_conjunction(
     Relations missing from ``contents`` are treated as empty.  The returned
     substitutions bind exactly the variables occurring in ``atoms`` (plus any
     binding already present in ``initial``).
+
+    The atom order is static, so the set of argument positions that are
+    bound when an atom is reached (constants, variables bound by earlier
+    atoms, variables ground in ``initial``) is known up front; each atom's
+    relation is hash-indexed once on those positions and candidate rows are
+    probed by key instead of scanning the whole relation at every branch.
     """
+    start = initial or Substitution()
     materialized: Dict[str, List[Tuple[object, ...]]] = {}
 
     def rows_of(predicate: str) -> List[Tuple[object, ...]]:
@@ -81,17 +88,57 @@ def evaluate_conjunction(
 
     ordered = _order_atoms(atoms)
 
-    def search(index: int, substitution: Substitution) -> Iterator[Substitution]:
-        if index == len(ordered):
+    # Positions of each atom that are ground when the search reaches it.
+    ground_variables: Set[Variable] = {
+        variable for variable in start if isinstance(start.apply(variable), Constant)
+    }
+    key_positions: List[Tuple[int, ...]] = []
+    for atom in ordered:
+        positions = tuple(
+            position
+            for position, term in enumerate(atom.terms)
+            if isinstance(term, Constant) or term in ground_variables
+        )
+        key_positions.append(positions)
+        ground_variables.update(atom.variable_set())
+
+    indexes: List[Optional[Dict[Tuple[object, ...], List[Tuple[object, ...]]]]] = [
+        None
+    ] * len(ordered)
+
+    def candidates(depth: int, substitution: Substitution) -> List[Tuple[object, ...]]:
+        atom = ordered[depth]
+        positions = key_positions[depth]
+        if not positions:
+            return rows_of(atom.predicate)
+        index = indexes[depth]
+        if index is None:
+            index = {}
+            for row in rows_of(atom.predicate):
+                if len(row) != atom.arity:
+                    continue
+                key = tuple(row[position] for position in positions)
+                index.setdefault(key, []).append(row)
+            indexes[depth] = index
+        probe: List[object] = []
+        for position in positions:
+            bound = substitution.apply(atom.terms[position])
+            if not isinstance(bound, Constant):  # pragma: no cover - defensive
+                return rows_of(atom.predicate)
+            probe.append(bound.value)
+        return index.get(tuple(probe), ())
+
+    def search(depth: int, substitution: Substitution) -> Iterator[Substitution]:
+        if depth == len(ordered):
             yield substitution
             return
-        atom = ordered[index]
-        for row in rows_of(atom.predicate):
+        atom = ordered[depth]
+        for row in candidates(depth, substitution):
             matched = _match_atom(atom, row, substitution)
             if matched is not None:
-                yield from search(index + 1, matched)
+                yield from search(depth + 1, matched)
 
-    yield from search(0, initial or Substitution())
+    yield from search(0, start)
 
 
 def conjunction_is_satisfiable(

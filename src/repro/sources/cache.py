@@ -14,12 +14,20 @@ auxiliary structures:
 * **access tables** — one per relation with limitations, storing the access
   tuples that are ready to be shipped to the corresponding wrapper (used by
   the distillation scheduler).
+
+Every structure here is *append-only* and indexed for the executors' hot
+paths: cache tables maintain per-position value indexes (set + insertion
+log), so reading the distinct values at an argument position — the operation
+behind every domain-provider evaluation — is O(1) instead of a scan over all
+rows, and the logs let the executors consume only the values that appeared
+since their last visit (delta-driven binding generation, see
+:mod:`repro.plan.bindings`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.model.schema import RelationSchema
 from repro.sources.access import AccessTuple
@@ -32,7 +40,11 @@ class CacheTable:
 
     A cache table remembers, besides its tuples, which relation and which
     occurrence of the query it caches, and at which ordering position it must
-    be populated.
+    be populated.  It maintains one value index per argument position,
+    updated on insertion: a set of the distinct values seen at that position
+    (for O(1) reads and membership tests) and an append-only log of the same
+    values in arrival order (so executors can read just the values added
+    since a watermark).
     """
 
     def __init__(
@@ -45,6 +57,9 @@ class CacheTable:
         self.relation = relation
         self.position = position
         self._rows: Set[Row] = set()
+        arity = relation.arity
+        self._value_sets: List[Set[object]] = [set() for _ in range(arity)]
+        self._value_logs: List[List[object]] = [[] for _ in range(arity)]
 
     # -- mutation -----------------------------------------------------------
     def add(self, row: Row) -> bool:
@@ -52,6 +67,14 @@ class CacheTable:
         if row in self._rows:
             return False
         self._rows.add(row)
+        while len(self._value_sets) < len(row):  # tolerate over-arity rows
+            self._value_sets.append(set())
+            self._value_logs.append([])
+        for position, value in enumerate(row):
+            values = self._value_sets[position]
+            if value not in values:
+                values.add(value)
+                self._value_logs[position].append(value)
         return True
 
     def add_all(self, rows: Iterable[Row]) -> int:
@@ -62,7 +85,24 @@ class CacheTable:
         return frozenset(self._rows)
 
     def values_at(self, position: int) -> Set[object]:
-        return {row[position] for row in self._rows}
+        """Distinct values at one argument position.
+
+        Returns the live index set in O(1); callers must treat it as
+        read-only (it keeps growing as rows are added).
+        """
+        return self._value_sets[position]
+
+    def value_log(self, position: int) -> List[object]:
+        """Append-only log of the distinct values at one position, in arrival order.
+
+        The returned list is live: new values are appended as rows arrive,
+        and existing entries never move, so ``value_log(p)[mark:]`` is
+        exactly the values that appeared since a caller's watermark ``mark``.
+        """
+        return self._value_logs[position]
+
+    def value_count(self, position: int) -> int:
+        return len(self._value_logs[position])
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self._rows)
@@ -85,17 +125,29 @@ class MetaCache:
     against the relation to the rows that the source returned, so that a
     repeated access (possibly issued on behalf of a different occurrence of
     the relation) can be answered locally at no cost.
+
+    The union of all extracted rows is maintained incrementally on
+    :meth:`record`, so :meth:`all_rows` is O(1) amortized instead of a union
+    over every recorded access.  The union is append-only: re-recording a
+    binding never removes rows from it (sources are assumed immutable within
+    a session, so a repeated access returns the same rows anyway).
     """
 
     def __init__(self, relation: RelationSchema) -> None:
         self.relation = relation
         self._results: Dict[Tuple[object, ...], FrozenSet[Row]] = {}
+        self._union: Set[Row] = set()
+        self._union_view: Optional[FrozenSet[Row]] = None
 
     def has_access(self, binding: Tuple[object, ...]) -> bool:
         return tuple(binding) in self._results
 
     def record(self, binding: Tuple[object, ...], rows: FrozenSet[Row]) -> None:
-        self._results[tuple(binding)] = frozenset(rows)
+        rows = frozenset(rows)
+        self._results[tuple(binding)] = rows
+        if not rows <= self._union:
+            self._union.update(rows)
+            self._union_view = None
 
     def rows_for(self, binding: Tuple[object, ...]) -> FrozenSet[Row]:
         return self._results.get(tuple(binding), frozenset())
@@ -105,10 +157,9 @@ class MetaCache:
 
     def all_rows(self) -> FrozenSet[Row]:
         """Union of all rows extracted from the relation so far."""
-        union: Set[Row] = set()
-        for rows in self._results.values():
-            union.update(rows)
-        return frozenset(union)
+        if self._union_view is None:
+            self._union_view = frozenset(self._union)
+        return self._union_view
 
     def __len__(self) -> int:
         return len(self._results)
@@ -117,22 +168,32 @@ class MetaCache:
         return f"MetaCache({self.relation.name!r}, {len(self)} accesses)"
 
 
-@dataclass
 class AccessTable:
     """Pending access tuples for one relation with limitations.
 
-    Used by the distillation scheduler: access tuples generated from the
-    cache database wait here before being delivered to the wrapper's queue.
+    The paper's Figure 5 structure: access tuples generated from the cache
+    database wait here before being shipped to the relation's wrapper.  The
+    built-in :class:`~repro.plan.parallel.DistillationExecutor` keeps its
+    backlogs per *cache occurrence* rather than per relation (two caches
+    over one relation may legitimately dispatch the same binding), so this
+    per-relation table is the dedup-by-relation variant offered to external
+    schedulers via :meth:`CacheDatabase.access_table`.  Offers are O(1): a
+    seen-set rejects duplicates (whether still pending or already
+    delivered) and the pending backlog is a deque, so :meth:`take` pops
+    from the front without shifting the rest.
     """
 
-    relation: RelationSchema
-    pending: List[AccessTuple] = field(default_factory=list)
-    delivered: Set[AccessTuple] = field(default_factory=set)
+    def __init__(self, relation: RelationSchema) -> None:
+        self.relation = relation
+        self.pending: Deque[AccessTuple] = deque()
+        self.delivered: Set[AccessTuple] = set()
+        self._seen: Set[AccessTuple] = set()
 
     def offer(self, access: AccessTuple) -> bool:
         """Add an access tuple unless it was already offered or delivered."""
-        if access in self.delivered or access in self.pending:
+        if access in self._seen:
             return False
+        self._seen.add(access)
         self.pending.append(access)
         return True
 
@@ -140,12 +201,15 @@ class AccessTable:
         """Remove and return the next pending access tuple, if any."""
         if not self.pending:
             return None
-        access = self.pending.pop(0)
+        access = self.pending.popleft()
         self.delivered.add(access)
         return access
 
     def __len__(self) -> int:
         return len(self.pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AccessTable({self.relation.name!r}, {len(self)} pending)"
 
 
 class CacheDatabase:

@@ -122,6 +122,18 @@ class SourceRegistry:
     def relation_names(self) -> List[str]:
         return list(self._wrappers)
 
+    def latency_of(self, relation_name: str, default: float = 0.0) -> float:
+        """Effective simulated latency of one relation's wrapper.
+
+        Wrappers that declare no latency (zero or negative) — and relations
+        without a wrapper — are charged ``default``, the same substitution
+        the executors apply, so every caller prices an access identically.
+        """
+        wrapper = self._wrappers.get(relation_name)
+        if wrapper is None or wrapper.latency <= 0:
+            return default
+        return wrapper.latency
+
     # -- convenience ------------------------------------------------------------
     def access(
         self,

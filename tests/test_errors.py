@@ -70,12 +70,27 @@ def test_access_budget_exceeded_carries_plan(engine, example) -> None:
     assert info.value.query is prepared.query
 
 
-@pytest.mark.parametrize("strategy", ["naive", "fast_fail", "distillation"])
+@pytest.mark.parametrize("strategy", ["naive", "fast_fail"])
 def test_access_budget_enforced_by_every_strategy(engine, example, strategy) -> None:
     with pytest.raises(ExecutionError):
         engine.execute(
             example.query_text, strategy=strategy, max_accesses=1, share_session_cache=False
         )
+
+
+def test_distillation_budget_returns_partial_result_instead_of_raising(
+    engine, example
+) -> None:
+    # The distillation scheduler streams answers; running out of budget must
+    # not discard what was already derived (it stops dispatching instead).
+    from repro.engine import Termination
+
+    result = engine.execute(
+        example.query_text, strategy="distillation", max_accesses=1, share_session_cache=False
+    )
+    assert result.budget_exhausted
+    assert result.termination is Termination.BUDGET_EXHAUSTED
+    assert result.total_accesses == 1
 
 
 def test_engine_rejects_bad_source(example) -> None:
