@@ -1,21 +1,31 @@
-"""Benchmark: naive vs fast-failing vs distillation execution.
+"""Benchmark: strategies × backends × scenario topologies.
 
-Runs the engine over synthetic workloads of increasing size — chain
-instances (see :func:`repro.examples.chain_example`) plus a wide-fanout
-instance whose middle tier accumulates ~1000 provider values (see
-:func:`repro.examples.wide_fanout_example`) — and emits
+Runs the engine over the scenario-generator library
+(:mod:`repro.examples`): growing chain instances, a wide-fanout instance
+whose middle tier accumulates ~1000 provider values, and the star,
+diamond, skewed-fanout and cyclic topologies — and emits
 ``BENCH_engine.json`` with, per workload and strategy: number of source
 accesses, wall-clock seconds, and simulated access latency.  The chain
 workloads include irrelevant ``junk`` relations, so the access-count gap
 between naive and the plan-based strategies is the quantity the paper's
-optimization is about (Figure 6); the wide-fanout workload stresses binding
-generation and the event loop, the quantities the distillation scheduler's
-delta-driven indexes are about.
+optimization is about (Figure 6); the wide/skewed fanout workloads stress
+binding generation and the event loop; the cycle workload stresses the
+fixpoint over a cyclic d-graph.
 
-Every strategy's answer set is checked against the workload's expected
-answers, so any cross-strategy divergence (naive vs fast_fail vs
-distillation) fails the run — the benchmark doubles as an equivalence test
-(``--smoke`` runs just the two smallest workloads for CI).
+The run doubles as an equivalence suite:
+
+* every strategy's answer set is checked against the workload's expected
+  answers, so any cross-strategy divergence fails the run;
+* a backend-equivalence pass executes one workload across the in-memory,
+  SQLite and callable source backends and asserts that every strategy
+  returns identical answers *and access counts* on all three;
+* a concurrency-equivalence pass runs the distillation strategy with
+  ``concurrency="real"`` (actual thread-pool accesses against a
+  latency-injecting callable backend) and asserts its answers match the
+  deterministic simulation's.
+
+``--smoke`` runs the two smallest chain workloads plus both equivalence
+passes — the CI benchmark-smoke job.
 
 Usage::
 
@@ -34,7 +44,16 @@ from typing import Dict, List
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import Engine  # noqa: E402
-from repro.examples import Example, chain_example, wide_fanout_example  # noqa: E402
+from repro.examples import (  # noqa: E402
+    Example,
+    chain_example,
+    cyclic_example,
+    diamond_example,
+    skewed_fanout_example,
+    star_example,
+    wide_fanout_example,
+)
+from repro.sources.wrapper import SourceRegistry  # noqa: E402
 
 #: (length, width) of the generated chains, in growing total-tuple order.
 CHAIN_CONFIGURATIONS = [(2, 4), (3, 8), (4, 12), (5, 16), (6, 24)]
@@ -45,7 +64,13 @@ ACCESS_LATENCY = 0.01
 #: Completed accesses between incremental answer checks (distillation).
 ANSWER_CHECK_INTERVAL = 25
 
+#: Real injected latency per lookup in the real-concurrency pass; small
+#: enough to keep the run fast, large enough that overlap is measurable.
+REAL_BACKEND_LATENCY = 0.002
+
 STRATEGIES = ("naive", "fast_fail", "distillation")
+
+BACKENDS = ("memory", "sqlite", "callable")
 
 
 def bench_one(example: Example) -> Dict[str, object]:
@@ -82,11 +107,87 @@ def bench_one(example: Example) -> Dict[str, object]:
     return entry
 
 
+def bench_backends(example: Example) -> Dict[str, object]:
+    """Every strategy over every backend: identical answers and access counts."""
+    entry: Dict[str, object] = {"workload": example.name, "backends": {}}
+    baseline: Dict[str, int] = {}
+    for backend in BACKENDS:
+        per_strategy: Dict[str, object] = {}
+        for strategy in STRATEGIES:
+            engine = Engine(example.schema, example.instance, backend=backend)
+            started = time.perf_counter()
+            try:
+                result = engine.execute(
+                    example.query_text, strategy=strategy, share_session_cache=False
+                )
+            finally:
+                engine.close()
+            wall = time.perf_counter() - started
+            assert result.answers == example.expected_answers, (
+                f"{strategy} on backend {backend} returned wrong answers on {example.name}"
+            )
+            if strategy in baseline:
+                assert result.total_accesses == baseline[strategy], (
+                    f"{strategy} made {result.total_accesses} accesses on backend "
+                    f"{backend} but {baseline[strategy]} on memory ({example.name})"
+                )
+            else:
+                baseline[strategy] = result.total_accesses
+            per_strategy[strategy] = {
+                "accesses": result.total_accesses,
+                "wall_seconds": round(wall, 6),
+            }
+        entry["backends"][backend] = per_strategy  # type: ignore[index]
+    entry["equivalent"] = True
+    return entry
+
+
+def bench_real_concurrency(example: Example) -> Dict[str, object]:
+    """Real thread-pool distillation vs the simulation: identical answers."""
+    simulated = Engine(example.schema, example.instance).execute(
+        example.query_text, strategy="distillation", share_session_cache=False
+    )
+    registry = SourceRegistry(
+        example.instance, backend="callable", real_latency=REAL_BACKEND_LATENCY
+    )
+    engine = Engine(example.schema, registry)
+    started = time.perf_counter()
+    try:
+        result = engine.execute(
+            example.query_text,
+            strategy="distillation",
+            share_session_cache=False,
+            concurrency="real",
+            max_workers=8,
+        )
+    finally:
+        engine.close()
+    wall = time.perf_counter() - started
+    assert result.answers == simulated.answers == example.expected_answers, (
+        f"real-concurrency distillation diverged from the simulation on {example.name}"
+    )
+    raw = result.raw
+    return {
+        "workload": example.name,
+        "backend_latency": REAL_BACKEND_LATENCY,
+        "accesses": result.total_accesses,
+        "wall_seconds": round(wall, 6),
+        "makespan_seconds": round(raw.total_time, 6),
+        "sequential_seconds": round(raw.sequential_time, 6),
+        "parallel_speedup": round(raw.parallel_speedup, 3),
+        "matches_simulated": True,
+    }
+
+
 def workloads(smoke: bool) -> List[Example]:
     chains = CHAIN_CONFIGURATIONS[:2] if smoke else CHAIN_CONFIGURATIONS
     examples = [chain_example(length=length, width=width) for length, width in chains]
     if not smoke:
         examples.append(wide_fanout_example())
+        examples.append(star_example(rays=4, width=24))
+        examples.append(diamond_example(width=32))
+        examples.append(skewed_fanout_example(keys=10, hot_keys=2, hot_fanout=48))
+        examples.append(cyclic_example(size=64, seeds=4))
     return examples
 
 
@@ -98,7 +199,10 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="run only the two smallest workloads (CI cross-strategy equivalence check)",
+        help=(
+            "run only the two smallest workloads plus the backend and "
+            "real-concurrency equivalence passes (CI)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -108,7 +212,7 @@ def main(argv: List[str] | None = None) -> int:
         results.append(entry)
         strategies = entry["strategies"]  # type: ignore[assignment]
         print(
-            f"{entry['workload']:>18}: "
+            f"{entry['workload']:>22}: "
             + " / ".join(
                 f"{name} {record['accesses']:>5} accesses {record['wall_seconds']:.3f}s"
                 for name, record in strategies.items()  # type: ignore[union-attr]
@@ -116,15 +220,29 @@ def main(argv: List[str] | None = None) -> int:
             + f" (ratio {entry['access_ratio']})"
         )
 
+    # Equivalence passes: one moderate workload across all backends, and the
+    # real-concurrency dispatcher against a slow callable backend.
+    backend_entry = bench_backends(star_example(rays=3, width=8))
+    print(f"backend equivalence on {backend_entry['workload']}: ok ({', '.join(BACKENDS)})")
+    real_entry = bench_real_concurrency(star_example(rays=4, width=10))
+    print(
+        f"real concurrency on {real_entry['workload']}: "
+        f"{real_entry['accesses']} accesses, makespan {real_entry['makespan_seconds']}s, "
+        f"speedup {real_entry['parallel_speedup']}x"
+    )
+
     report = {
         "benchmark": "bench_engine",
         "description": (
             "naive vs fast_fail vs distillation accesses/wall/simulated latency "
-            "on growing chains and a wide-fanout workload"
+            "on chain, wide-fanout, star, diamond, skewed-fanout and cycle "
+            "topologies, plus backend and real-concurrency equivalence passes"
         ),
         "access_latency": ACCESS_LATENCY,
         "answer_check_interval": ANSWER_CHECK_INTERVAL,
         "results": results,
+        "backend_equivalence": backend_entry,
+        "real_concurrency": real_entry,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")

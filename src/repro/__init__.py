@@ -33,11 +33,19 @@ from repro.model.schema import RelationSchema, Schema
 from repro.plan.parallel import StreamedAnswer
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.parser import parse_query
+from repro.sources.backend import (
+    CallableBackend,
+    InMemoryBackend,
+    SourceBackend,
+    SQLiteBackend,
+    build_backend,
+)
 from repro.sources.wrapper import SourceRegistry
 
 __version__ = "0.2.0"
 
 __all__ = [
+    "CallableBackend",
     "ConjunctiveQuery",
     "DatabaseInstance",
     "Engine",
@@ -45,16 +53,20 @@ __all__ = [
     "ExecuteOptions",
     "ExecutionStrategy",
     "Explanation",
+    "InMemoryBackend",
     "PreparedPlan",
     "RelationSchema",
     "ReproError",
     "Result",
+    "SQLiteBackend",
     "Schema",
+    "SourceBackend",
     "SourceBreakdown",
     "SourceRegistry",
     "StreamedAnswer",
     "Termination",
     "available_strategies",
+    "build_backend",
     "parse_query",
     "register_strategy",
     "resolve_strategy",

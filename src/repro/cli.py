@@ -1,14 +1,20 @@
 """Command-line interface: ``python -m repro {plan,run,explain}``.
 
 The CLI drives the :class:`~repro.engine.Engine` façade end to end.  The
-schema and data come either from a JSON workload file (``--workload``) or
-from the built-in paper example (``--example``)::
+schema and data come from a JSON workload file (``--workload``), the
+built-in paper example (``--example``), or a generated scenario topology
+(``--scenario``); ``--backend`` picks where accesses are answered from and
+``--concurrency real`` runs the distillation strategy over an actual
+thread pool::
 
     python -m repro plan --example
     python -m repro run --example --strategy fast_fail
     python -m repro run --example --strategy distillation --stream
     python -m repro explain --example --json
     python -m repro run --workload w.json "q(X) <- r(X, Y)"
+    python -m repro run --scenario star:rays=4,width=10 --backend sqlite
+    python -m repro run --scenario diamond --backend callable --backend-latency 0.005 \
+        --strategy distillation --concurrency real
 
 Workload file format::
 
@@ -24,13 +30,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine import Engine, available_strategies
-from repro.examples import running_example
+from repro.examples import SCENARIOS, make_scenario, running_example
 from repro.exceptions import ReproError
 from repro.model.instance import DatabaseInstance
 from repro.model.schema import Schema
+from repro.sources.backend import BACKEND_KINDS
+from repro.sources.wrapper import SourceRegistry
 
 
 def load_workload(path: str) -> Tuple[Schema, DatabaseInstance, Optional[str]]:
@@ -60,19 +68,56 @@ def load_workload(path: str) -> Tuple[Schema, DatabaseInstance, Optional[str]]:
     return schema, instance, query
 
 
+def parse_scenario_spec(spec: str) -> Tuple[str, Dict[str, object]]:
+    """Parse ``name[:key=value,...]`` into a scenario name and typed params.
+
+    Values that look like ints or floats are converted, so
+    ``star:rays=4,selectivity=0.5`` forwards ``rays=4, selectivity=0.5``.
+    """
+    name, _, params_text = spec.partition(":")
+    params: Dict[str, object] = {}
+    for piece in filter(None, (p.strip() for p in params_text.split(","))):
+        key, separator, raw = piece.partition("=")
+        if not separator or not key.strip():
+            raise ReproError(
+                f"bad scenario parameter {piece!r} in {spec!r}; expected key=value"
+            )
+        raw = raw.strip()
+        value: object = raw
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                pass
+        params[key.strip()] = value
+    return name.strip(), params
+
+
 def _build_engine(args: argparse.Namespace) -> Tuple[Engine, str]:
     """Resolve the engine and the query text from the parsed arguments."""
     if args.example:
         example = running_example()
         schema, instance, default_query = example.schema, example.instance, example.query_text
+    elif args.scenario:
+        name, params = parse_scenario_spec(args.scenario)
+        example = make_scenario(name, **params)
+        schema, instance, default_query = example.schema, example.instance, example.query_text
     elif args.workload:
         schema, instance, default_query = load_workload(args.workload)
     else:
-        raise ReproError("either --example or --workload FILE is required")
+        raise ReproError("one of --example, --scenario NAME or --workload FILE is required")
     query = args.query or default_query
     if not query:
         raise ReproError("no query given (positionally or via the workload's 'query' field)")
-    return Engine(schema, instance, latency=args.latency), query
+    registry = SourceRegistry(
+        instance,
+        latency=args.latency,
+        backend=args.backend,
+        real_latency=args.backend_latency,
+    )
+    return Engine(schema, registry), query
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -84,6 +129,27 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--example", action="store_true", help="use the paper's built-in running example"
     )
     parser.add_argument(
+        "--scenario",
+        metavar="NAME[:k=v,...]",
+        help=(
+            f"use a generated scenario topology ({', '.join(sorted(SCENARIOS))}); "
+            "parameters after ':', e.g. star:rays=4,width=10"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_KINDS,
+        default="memory",
+        help="where accesses are answered from (default: memory)",
+    )
+    parser.add_argument(
+        "--backend-latency",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="real injected latency per lookup for the callable backend",
+    )
+    parser.add_argument(
         "--latency", type=float, default=0.0, help="simulated per-access latency (seconds)"
     )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
@@ -91,59 +157,84 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _command_plan(args: argparse.Namespace) -> int:
     engine, query = _build_engine(args)
-    prepared = engine.plan(query)
-    if args.json:
-        explanation = prepared.explain()
-        print(json.dumps({"query": explanation.query, "datalog": explanation.datalog}, indent=2))
-    else:
-        print(prepared.plan.describe())
-    return 0
+    try:
+        prepared = engine.plan(query)
+        if args.json:
+            explanation = prepared.explain()
+            print(
+                json.dumps({"query": explanation.query, "datalog": explanation.datalog}, indent=2)
+            )
+        else:
+            print(prepared.plan.describe())
+        return 0
+    finally:
+        engine.close()
 
 
 def _command_explain(args: argparse.Namespace) -> int:
     engine, query = _build_engine(args)
-    explanation = engine.explain(query)
-    if args.json:
-        print(json.dumps(explanation.to_dict(), indent=2))
-    else:
-        print(explanation.describe())
-    return 0
+    try:
+        explanation = engine.explain(query)
+        if args.json:
+            print(json.dumps(explanation.to_dict(), indent=2))
+        else:
+            print(explanation.describe())
+        return 0
+    finally:
+        engine.close()
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    # --stream needs a streaming-capable strategy; default to distillation
+    # but honor an explicit --strategy (naive/fast_fail then fail loudly).
+    strategy = args.strategy or ("distillation" if args.stream else "fast_fail")
+    if args.concurrency == "real" and strategy != "distillation":
+        raise ReproError(
+            f"--concurrency real only applies to the distillation strategy, "
+            f"not {strategy!r}; pass --strategy distillation"
+        )
     engine, query = _build_engine(args)
-    prepared = engine.plan(query)
-    if args.stream:
-        # --stream needs a streaming-capable strategy; default to distillation
-        # but honor an explicit --strategy (naive/fast_fail then fail loudly).
-        strategy = args.strategy or "distillation"
-        streamed = []
-        for answer in prepared.stream(strategy=strategy, answer_check_interval=1):
-            streamed.append(answer)
-            if not args.json:
-                print(f"t={answer.simulated_time:.4f}  {answer.row}")
-        if args.json:
-            print(
-                json.dumps(
-                    [
-                        {"row": list(answer.row), "simulated_time": answer.simulated_time}
-                        for answer in streamed
-                    ],
-                    indent=2,
+    try:
+        prepared = engine.plan(query)
+        if args.stream:
+            streamed = []
+            for answer in prepared.stream(
+                strategy=strategy,
+                answer_check_interval=1,
+                concurrency=args.concurrency,
+                max_workers=args.max_workers,
+            ):
+                streamed.append(answer)
+                if not args.json:
+                    print(f"t={answer.simulated_time:.4f}  {answer.row}")
+            if args.json:
+                print(
+                    json.dumps(
+                        [
+                            {"row": list(answer.row), "simulated_time": answer.simulated_time}
+                            for answer in streamed
+                        ],
+                        indent=2,
+                    )
                 )
-            )
+            else:
+                print(f"({len(streamed)} answers streamed)")
+            return 0
+        result = prepared.execute(
+            strategy=strategy,
+            concurrency=args.concurrency,
+            max_workers=args.max_workers,
+        )
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
         else:
-            print(f"({len(streamed)} answers streamed)")
+            for row in sorted(result.answers, key=repr):
+                print(row)
+            print()
+            print(result.summary())
         return 0
-    result = prepared.execute(strategy=args.strategy or "fast_fail")
-    if args.json:
-        print(json.dumps(result.to_dict(), indent=2))
-    else:
-        for row in sorted(result.answers, key=repr):
-            print(row)
-        print()
-        print(result.summary())
-    return 0
+    finally:
+        engine.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -170,6 +261,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--stream", action="store_true", help="stream incremental answers (distillation)"
+    )
+    run_parser.add_argument(
+        "--concurrency",
+        choices=("simulated", "real"),
+        default="simulated",
+        help=(
+            "distillation dispatch mode: deterministic simulation (default) or "
+            "actual thread-pool accesses against the backends"
+        ),
+    )
+    run_parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=8,
+        help="thread-pool size for --concurrency real (default: 8)",
     )
     run_parser.set_defaults(handler=_command_run)
 

@@ -31,6 +31,7 @@ from repro.plan.minimal import MinimalPlanGenerator
 from repro.plan.parallel import StreamedAnswer
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.parser import parse_query
+from repro.sources.backend import BackendLike
 from repro.sources.cache import CacheDatabase, MetaCache
 from repro.sources.log import AccessLog
 from repro.sources.wrapper import SourceRegistry
@@ -94,6 +95,11 @@ class Engine:
             per-relation latencies).
         latency: default per-access simulated latency when building wrappers
             from a database instance.
+        backend: how wrappers built from a database instance answer their
+            accesses — a kind name (``memory``, ``sqlite``, ``callable``)
+            or a ``RelationInstance -> SourceBackend`` factory (see
+            :mod:`repro.sources.backend`).  Ignored when ``source`` is
+            already a :class:`~repro.sources.wrapper.SourceRegistry`.
         minimize: run Chandra–Merlin minimization on queries before planning.
         join_first_heuristic: tie-break source orderings by join count.
         options: default :class:`~repro.engine.strategy.ExecuteOptions` for
@@ -106,6 +112,7 @@ class Engine:
         source: Union[DatabaseInstance, SourceRegistry],
         *,
         latency: float = 0.0,
+        backend: BackendLike = "memory",
         minimize: bool = True,
         join_first_heuristic: bool = True,
         options: Optional[ExecuteOptions] = None,
@@ -113,7 +120,7 @@ class Engine:
         if isinstance(source, SourceRegistry):
             self.registry = source
         elif isinstance(source, DatabaseInstance):
-            self.registry = SourceRegistry(source, latency=latency)
+            self.registry = SourceRegistry(source, latency=latency, backend=backend)
         else:
             raise EngineError(
                 f"source must be a DatabaseInstance or a SourceRegistry, got {type(source).__name__}"
@@ -189,6 +196,11 @@ class Engine:
     def explain(self, query: Union[str, ConjunctiveQuery]) -> Explanation:
         """Plan and explain in one call."""
         return self.plan(query).explain()
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Close every source backend (e.g. SQLite connections); idempotent."""
+        self.registry.close()
 
     # -- session management --------------------------------------------------
     def reset_session(self) -> None:

@@ -11,6 +11,7 @@ from repro.engine.result import Result
 from repro.engine.strategy import (
     ExecuteOptions,
     StrategyLike,
+    real_concurrency_unsupported,
     resolve_strategy,
     streaming_unsupported,
 )
@@ -62,6 +63,8 @@ class PreparedPlan:
         resolved = resolve_strategy(strategy)
         opts = self._options(options, overrides)
         try:
+            if opts.concurrency == "real" and not resolved.supports_real_concurrency:
+                raise real_concurrency_unsupported(resolved.name)
             return resolved.run(self, opts)
         except ReproError as error:
             raise error.with_context(query=self.query, plan=self.plan)
@@ -84,6 +87,8 @@ class PreparedPlan:
             if not resolved.supports_streaming:
                 raise streaming_unsupported(resolved.name)
             opts = self._options(options, overrides)
+            if opts.concurrency == "real" and not resolved.supports_real_concurrency:
+                raise real_concurrency_unsupported(resolved.name)
         except ReproError as error:
             raise error.with_context(query=self.query, plan=self.plan)
         return self._stream(resolved, opts)

@@ -139,6 +139,7 @@ class DistillationStrategy(ExecutionStrategy):
 
     name = "distillation"
     supports_streaming = True
+    supports_real_concurrency = True
 
     def _executor(
         self, prepared: "PreparedPlan", options: ExecuteOptions
@@ -151,6 +152,8 @@ class DistillationStrategy(ExecutionStrategy):
             answer_check_interval=options.answer_check_interval,
             respect_ordering=options.respect_ordering,
             max_accesses=options.max_accesses,
+            concurrency=options.concurrency,
+            max_workers=options.max_workers,
         )
 
     def run(self, prepared: "PreparedPlan", options: ExecuteOptions) -> Result:

@@ -53,6 +53,12 @@ class ExecuteOptions:
             finest streaming granularity.
         respect_ordering: dispatch accesses position by position instead of
             eagerly (distillation strategy).
+        concurrency: ``"simulated"`` runs the distillation strategy as the
+            deterministic discrete-event simulation; ``"real"`` dispatches
+            accesses to the source backends over an actual thread pool, so
+            slow backends genuinely overlap.  Answers are identical between
+            the modes; only the clocks differ.
+        max_workers: thread-pool size for ``concurrency="real"``.
     """
 
     fast_fail: bool = True
@@ -63,6 +69,8 @@ class ExecuteOptions:
     queue_capacity: int = 64
     answer_check_interval: int = 1
     respect_ordering: bool = False
+    concurrency: str = "simulated"
+    max_workers: int = 8
 
     def override(self, **changes: object) -> "ExecuteOptions":
         """Return a copy with the given fields replaced."""
@@ -81,16 +89,31 @@ def streaming_unsupported(name: str, *, plan: object = None) -> StrategyError:
     )
 
 
+def real_concurrency_unsupported(name: str, *, plan: object = None) -> StrategyError:
+    """The error raised when a sequential strategy is asked for real concurrency."""
+    return StrategyError(
+        f"strategy {name!r} runs its accesses sequentially and ignores "
+        "concurrency='real'; use strategy='distillation' (or any strategy with "
+        "supports_real_concurrency=True)",
+        plan=plan,
+    )
+
+
 class ExecutionStrategy(abc.ABC):
     """One way of executing a prepared plan.
 
     Subclasses set ``name`` (the registry key) and implement :meth:`run`;
     strategies that can produce answers incrementally also set
-    ``supports_streaming`` and implement :meth:`stream`.
+    ``supports_streaming`` and implement :meth:`stream`; strategies that
+    honor ``ExecuteOptions.concurrency="real"`` (dispatching accesses over
+    an actual thread pool) set ``supports_real_concurrency`` — asking any
+    other strategy for real concurrency is an error, not a silent
+    sequential run.
     """
 
     name: ClassVar[str] = ""
     supports_streaming: ClassVar[bool] = False
+    supports_real_concurrency: ClassVar[bool] = False
 
     @abc.abstractmethod
     def run(self, prepared: "PreparedPlan", options: ExecuteOptions) -> "Result":

@@ -11,13 +11,23 @@ by-nation listing that is irrelevant for the example query.  The query
 asks for the nation of the artist of the song *volare*; under the access
 limitations the only way in is through the constant ``'volare'``, which the
 constant-elimination step turns into an artificial free relation.
+
+Besides the running example, this module is the scenario-generator library:
+parameterized d-graph topologies (``chain``, ``wide-fanout``, ``star``,
+``diamond``, ``skewed-fanout``, ``cycle``) that the benchmarks and the CLI
+use to exercise every backend × strategy combination on qualitatively
+different dependency shapes.  Every generator returns an :class:`Example`
+carrying its expected answers, so any execution over it doubles as a
+correctness check.  :data:`SCENARIOS` maps scenario names to generators and
+:func:`make_scenario` builds one by name with keyword parameters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Tuple
+from typing import Callable, Dict, FrozenSet, Tuple
 
+from repro.exceptions import ReproError
 from repro.model.instance import DatabaseInstance
 from repro.model.schema import Schema
 
@@ -158,3 +168,202 @@ def wide_fanout_example(width: int = 36, fanout: int = 28) -> Example:
         query_text=query_text,
         expected_answers=expected,
     )
+
+
+def _cutoff(count: int, selectivity: float) -> int:
+    """How many of ``count`` seed values survive a join of the given selectivity."""
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError("selectivity must be in (0, 1]")
+    return max(1, int(count * selectivity))
+
+
+def star_example(rays: int = 3, width: int = 6, selectivity: float = 1.0) -> Example:
+    """A star topology: one free hub joined with ``rays`` independent spokes.
+
+    ``hub^oo(D0, Aux)`` emits ``width`` values; each ``spoke_k^ioo(D0, S_k,
+    Aux)`` answers for the first ``width * selectivity`` of them.  The query
+    joins the hub with every spoke, so a hub value is an answer only when
+    *all* spokes know it.  All spokes depend only on the hub — the d-graph
+    is one source fanning out to ``rays`` mutually independent sources,
+    which is the best case for parallel dispatch (every spoke can run
+    concurrently) and the worst case for a scheduler that serializes
+    positions.  ``noise^io(D0, Aux)`` does not occur in the query and is
+    pruned by the plan-based strategies.
+    """
+    if rays < 1 or width < 1:
+        raise ValueError("star_example needs rays >= 1 and width >= 1")
+    keep = _cutoff(width, selectivity)
+    signatures = {"hub": ("oo", ["D0", "Aux"]), "noise": ("io", ["D0", "Aux"])}
+    for k in range(1, rays + 1):
+        signatures[f"spoke{k}"] = ("ioo", ["D0", f"S{k}", "Aux"])
+    schema = Schema.from_signatures(signatures)
+
+    instance = DatabaseInstance(schema)
+    for i in range(width):
+        instance.add_tuple("hub", (f"h{i}", f"ha{i}"))
+        instance.add_tuple("noise", (f"h{i}", f"na{i}"))
+        if i < keep:
+            for k in range(1, rays + 1):
+                instance.add_tuple(f"spoke{k}", (f"h{i}", f"s{k}_{i}", f"sa{k}_{i}"))
+
+    body = ["hub(X0, A0)"]
+    for k in range(1, rays + 1):
+        body.append(f"spoke{k}(X0, Y{k}, B{k})")
+    query_text = "q(X0) <- " + ", ".join(body)
+    expected = frozenset({(f"h{i}",) for i in range(keep)})
+    return Example(
+        name=f"star-{rays}x{width}",
+        schema=schema,
+        instance=instance,
+        query_text=query_text,
+        expected_answers=expected,
+    )
+
+
+def diamond_example(width: int = 8, selectivity: float = 1.0) -> Example:
+    """A diamond topology: one source splits into two branches that re-join.
+
+    ``src^oo(D0, Aux)`` emits ``width`` values; ``left^ioo(D0, DL, Aux)``
+    and ``right^ioo(D0, DR, Aux)`` map each of them to a branch value; and
+    ``sink^iio(DL, DR, Aux)`` requires *both* branch values as input — its
+    cache has two domain providers, so a binding is enabled only when the
+    left and the right branch have both delivered (the conjunctive-provider
+    path of the binding generator).  ``selectivity`` is the fraction of
+    branch pairs the sink actually relates.
+    """
+    if width < 1:
+        raise ValueError("diamond_example needs width >= 1")
+    keep = _cutoff(width, selectivity)
+    schema = Schema.from_signatures(
+        {
+            "src": ("oo", ["D0", "Aux"]),
+            "left": ("ioo", ["D0", "DL", "Aux"]),
+            "right": ("ioo", ["D0", "DR", "Aux"]),
+            "sink": ("iio", ["DL", "DR", "Out"]),
+        }
+    )
+    instance = DatabaseInstance(schema)
+    for i in range(width):
+        instance.add_tuple("src", (f"v{i}", f"va{i}"))
+        instance.add_tuple("left", (f"v{i}", f"l{i}", f"la{i}"))
+        instance.add_tuple("right", (f"v{i}", f"r{i}", f"ra{i}"))
+        if i < keep:
+            instance.add_tuple("sink", (f"l{i}", f"r{i}", f"z{i}"))
+    query_text = "q(Z) <- src(X, A0), left(X, L, A1), right(X, R, A2), sink(L, R, Z)"
+    expected = frozenset({(f"z{i}",) for i in range(keep)})
+    return Example(
+        name=f"diamond-{width}",
+        schema=schema,
+        instance=instance,
+        query_text=query_text,
+        expected_answers=expected,
+    )
+
+
+def skewed_fanout_example(
+    keys: int = 6,
+    hot_keys: int = 1,
+    hot_fanout: int = 32,
+    cold_fanout: int = 2,
+) -> Example:
+    """A fanout workload with heavy key skew: a few hot keys, many cold ones.
+
+    Like :func:`wide_fanout_example` but the first ``hot_keys`` seed values
+    expand into ``hot_fanout`` mid-tier values each while the rest expand
+    into ``cold_fanout`` — so one wrapper's queue dwarfs the others', which
+    is what distinguishes schedulers that overlap sources from ones that
+    round-robin them.  ``junk^io(D2, Aux)`` is irrelevant for the query.
+    """
+    if keys < 1 or hot_keys < 0 or hot_keys > keys:
+        raise ValueError("skewed_fanout_example needs keys >= 1 and 0 <= hot_keys <= keys")
+    if hot_fanout < 1 or cold_fanout < 1:
+        raise ValueError("skewed_fanout_example needs positive fanouts")
+    schema = Schema.from_signatures(
+        {
+            "seed": ("oo", ["D1", "Aux"]),
+            "fan": ("ioo", ["D1", "D2", "Aux"]),
+            "collect": ("ioo", ["D2", "D3", "Aux"]),
+            "junk": ("io", ["D2", "Aux"]),
+        }
+    )
+    instance = DatabaseInstance(schema)
+    expected = set()
+    for i in range(keys):
+        instance.add_tuple("seed", (f"u{i}", f"sa{i}"))
+        fanout = hot_fanout if i < hot_keys else cold_fanout
+        for j in range(fanout):
+            mid = f"m{i}_{j}"
+            instance.add_tuple("fan", (f"u{i}", mid, f"fa{i}_{j}"))
+            instance.add_tuple("collect", (mid, f"z{i}_{j}", f"ca{i}_{j}"))
+            instance.add_tuple("junk", (mid, f"ja{i}_{j}"))
+            expected.add((f"z{i}_{j}",))
+    query_text = "q(X3) <- seed(X1, A0), fan(X1, X2, A1), collect(X2, X3, A2)"
+    return Example(
+        name=f"skewed-fanout-{keys}x{hot_fanout}/{cold_fanout}",
+        schema=schema,
+        instance=instance,
+        query_text=query_text,
+        expected_answers=frozenset(expected),
+    )
+
+
+def cyclic_example(size: int = 8, seeds: int = 2) -> Example:
+    """A cyclic d-graph: a relation whose output feeds its own input domain.
+
+    ``step^ioo(D1, D1, Aux)`` maps every ring value to its successor, so the
+    step cache is one of its own domain providers — the dependency graph has
+    a genuine cycle and the fixpoint pumps the whole ring through the cache
+    even though the query only takes two hops from the ``seeds`` entry
+    points emitted by ``seed^oo(D1, Aux)``.
+    """
+    if size < 1 or not 1 <= seeds <= size:
+        raise ValueError("cyclic_example needs size >= 1 and 1 <= seeds <= size")
+    schema = Schema.from_signatures(
+        {
+            "seed": ("oo", ["D1", "Aux"]),
+            "step": ("ioo", ["D1", "D1", "Aux"]),
+        }
+    )
+    instance = DatabaseInstance(schema)
+    for i in range(seeds):
+        instance.add_tuple("seed", (f"v{i}", f"sa{i}"))
+    for i in range(size):
+        instance.add_tuple("step", (f"v{i}", f"v{(i + 1) % size}", f"ta{i}"))
+    query_text = "q(Z) <- seed(X, A0), step(X, Y, A1), step(Y, Z, A2)"
+    expected = frozenset({(f"v{(i + 2) % size}",) for i in range(seeds)})
+    return Example(
+        name=f"cycle-{size}x{seeds}",
+        schema=schema,
+        instance=instance,
+        query_text=query_text,
+        expected_answers=expected,
+    )
+
+
+#: The scenario-generator registry: name -> parameterized Example factory.
+SCENARIOS: Dict[str, Callable[..., Example]] = {
+    "running": running_example,
+    "chain": chain_example,
+    "wide-fanout": wide_fanout_example,
+    "star": star_example,
+    "diamond": diamond_example,
+    "skewed-fanout": skewed_fanout_example,
+    "cycle": cyclic_example,
+}
+
+
+def make_scenario(name: str, **params: object) -> Example:
+    """Build a scenario by registry name, forwarding keyword parameters.
+
+    Raises :class:`~repro.exceptions.ReproError` for unknown names and for
+    parameters the generator rejects, so CLI callers get a clean message.
+    """
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        available = ", ".join(sorted(SCENARIOS))
+        raise ReproError(f"unknown scenario {name!r}; available: {available}") from None
+    try:
+        return factory(**params)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as error:
+        raise ReproError(f"cannot build scenario {name!r}: {error}") from None

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.exceptions import ExecutionError
-from repro.plan.bindings import CacheBindingGenerator
+from repro.plan.bindings import CacheBindingGenerator, initialize_plan_caches
 from repro.plan.plan import CachePredicate, QueryPlan
 from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
@@ -120,21 +120,16 @@ class FastFailingExecutor:
             log = AccessLog()
         if cache_db is None:
             cache_db = CacheDatabase()
-        for cache in self.plan.caches.values():
-            cache_db.create_cache(cache.name, cache.relation, cache.position)
+        # Artificial constant caches are seeded from the plan's facts: they
+        # correspond to constants of the query and cost no access.
+        generators = initialize_plan_caches(self.plan, cache_db)
 
-        # Artificial constant relations are populated from the plan's facts;
-        # they correspond to constants of the query and cost no access.
-        for cache in self.plan.caches.values():
-            if cache.is_artificial:
-                facts = self.plan.constant_facts.get(cache.relation.name, frozenset())
-                cache_db.cache(cache.name).add_all(facts)
-
-        generators: Dict[str, CacheBindingGenerator] = {
-            cache.name: CacheBindingGenerator(cache, cache_db)
-            for cache in self.plan.caches.values()
-            if not cache.is_artificial
-        }
+        # The authoritative simulated clock of this (sequential) execution:
+        # accesses run back to back, so the clock is the cumulative latency
+        # of the accesses made so far.  The executor stamps every access
+        # record with it; per-wrapper clocks would diverge as soon as two
+        # relations interleave.
+        clock = _SequentialClock()
 
         failed_fast = False
         failed_at: Optional[int] = None
@@ -143,7 +138,7 @@ class FastFailingExecutor:
                 failed_fast = True
                 failed_at = position
                 break
-            self._populate_position(position, cache_db, log, generators)
+            self._populate_position(position, cache_db, log, generators, clock)
 
         if failed_fast:
             answers: FrozenSet[Row] = frozenset()
@@ -187,6 +182,7 @@ class FastFailingExecutor:
         cache_db: CacheDatabase,
         log: AccessLog,
         generators: Dict[str, CacheBindingGenerator],
+        clock: "_SequentialClock",
     ) -> None:
         """Populate all caches of one ordering position to a fixpoint.
 
@@ -204,7 +200,9 @@ class FastFailingExecutor:
         while changed:
             changed = False
             for cache in caches:
-                if self._populate_cache_once(cache, cache_db, log, generators[cache.name]):
+                if self._populate_cache_once(
+                    cache, cache_db, log, generators[cache.name], clock
+                ):
                     changed = True
 
     def _populate_cache_once(
@@ -213,13 +211,14 @@ class FastFailingExecutor:
         cache_db: CacheDatabase,
         log: AccessLog,
         generator: CacheBindingGenerator,
+        clock: "_SequentialClock",
     ) -> bool:
         """Issue every newly enabled access of one cache; True when anything changed."""
         table = cache_db.cache(cache.name)
         meta = cache_db.meta_cache(cache.relation)
         changed = False
         for binding in generator.fresh_bindings():
-            rows = self._fetch(cache, binding, meta, log)
+            rows = self._fetch(cache, binding, meta, log, clock)
             if table.add_all(rows):
                 changed = True
         return changed
@@ -230,6 +229,7 @@ class FastFailingExecutor:
         binding: Tuple[object, ...],
         meta,
         log: AccessLog,
+        clock: "_SequentialClock",
     ) -> FrozenSet[Row]:
         """Fetch the rows for one access tuple, via the meta-cache when possible."""
         if self.options.use_meta_cache and meta.has_access(binding):
@@ -241,6 +241,19 @@ class FastFailingExecutor:
             raise ExecutionError(
                 f"plan execution exceeded the access budget of {self.options.max_accesses}"
             )
-        rows = self.registry.access(cache.relation.name, binding, log)
+        finish = clock.advance(self.registry.latency_of(cache.relation.name))
+        rows = self.registry.access(cache.relation.name, binding, log, simulated_time=finish)
         meta.record(binding, rows)
         return rows
+
+
+class _SequentialClock:
+    """Cumulative simulated clock of a one-access-at-a-time execution."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, latency: float) -> float:
+        """Charge one access's latency; returns the access's completion time."""
+        self.now += latency
+        return self.now

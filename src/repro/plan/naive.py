@@ -148,17 +148,23 @@ class NaiveEvaluator:
         attempted = 0
         rounds = 0
         changed = True
+        # Accesses run back to back, so the authoritative clock is the
+        # cumulative latency of the accesses made so far; the evaluator
+        # stamps every record with it (per-wrapper clocks would interleave).
+        clock = 0.0
         while changed:
             changed = False
             rounds += 1
             for relation in self.schema:
+                latency = self.registry.latency_of(relation.name)
                 for binding in self._fresh_bindings(relation, products, free_accessed):
                     attempted += 1
                     if self.max_accesses is not None and attempted > self.max_accesses:
                         raise ExecutionError(
                             f"naive evaluation exceeded the access budget of {self.max_accesses}"
                         )
-                    rows = self.registry.access(relation.name, binding, log)
+                    clock += latency
+                    rows = self.registry.access(relation.name, binding, log, simulated_time=clock)
                     changed = True
                     if rows:
                         cache[relation.name].update(rows)

@@ -41,9 +41,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, FrozenSet, Iterator, List, Mapping, Optional, Set, Tuple
 
-from repro.plan.bindings import CacheBindingGenerator
+from repro.exceptions import ExecutionError
+from repro.plan.bindings import initialize_plan_caches, offer_until_fixpoint
 from repro.plan.plan import CachePredicate, QueryPlan
-from repro.sources.access import AccessRecord, AccessTuple
 from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
 from repro.sources.wrapper import SourceRegistry
@@ -66,6 +66,37 @@ class StreamedAnswer:
 
     row: Row
     simulated_time: float
+
+
+class AnswerTracker:
+    """Incremental answer bookkeeping shared by both distillation dispatchers.
+
+    Evaluates the rewritten query over the caches on demand, remembers every
+    answer's first derivation time, and reports which rows are new — the
+    rows to stream.  ``now`` is whatever clock the caller's mode is
+    authoritative for (the event-heap clock in simulation, the wall clock in
+    real-concurrency mode).
+    """
+
+    def __init__(self, plan: QueryPlan, cache_db: CacheDatabase) -> None:
+        self._plan = plan
+        self._cache_db = cache_db
+        self.answers: Set[Row] = set()
+        self.answer_times: Dict[Row, float] = {}
+        self.first_answer_time: Optional[float] = None
+
+    def check(self, now: float) -> List[StreamedAnswer]:
+        """Evaluate over the caches; return the newly derived rows, timestamped."""
+        current = self._plan.rewritten_query.evaluate(self._cache_db.contents())
+        fresh: List[StreamedAnswer] = []
+        for row in current:
+            if row not in self.answer_times:
+                self.answer_times[row] = now
+                fresh.append(StreamedAnswer(row=row, simulated_time=now))
+        self.answers.update(current)
+        if current and self.first_answer_time is None:
+            self.first_answer_time = now
+        return fresh
 
 
 @dataclass
@@ -134,6 +165,8 @@ class DistillationExecutor:
         answer_check_interval: int = 25,
         respect_ordering: bool = False,
         max_accesses: Optional[int] = None,
+        concurrency: str = "simulated",
+        max_workers: int = 8,
     ) -> None:
         """Create a distillation executor.
 
@@ -144,7 +177,7 @@ class DistillationExecutor:
                 ``default_latency`` is used.
             queue_capacity: maximum number of access tuples waiting at one
                 wrapper; further tuples stay in the backlog until a slot
-                frees up.
+                frees up.  In real mode this is the per-source batch size.
             answer_check_interval: evaluate the query over the caches every
                 this many completed accesses (and at the end) to timestamp
                 answer arrivals.
@@ -157,7 +190,18 @@ class DistillationExecutor:
                 answer check runs, and the result is returned with
                 ``budget_exhausted=True`` — the answers already derived are
                 never discarded.
+            concurrency: ``"simulated"`` (default) runs the deterministic
+                discrete-event simulation; ``"real"`` dispatches the
+                accesses to the source backends over an actual thread pool
+                (:class:`~repro.plan.dispatch.ThreadPoolDispatcher`), so
+                slow backends genuinely overlap.  Both modes compute the
+                same answers; only the clocks differ.
+            max_workers: thread-pool size in real mode (ignored otherwise).
         """
+        if concurrency not in ("simulated", "real"):
+            raise ExecutionError(
+                f"unknown concurrency mode {concurrency!r}; use 'simulated' or 'real'"
+            )
         self.plan = plan
         self.registry = registry
         self.default_latency = default_latency
@@ -165,6 +209,8 @@ class DistillationExecutor:
         self.answer_check_interval = max(1, answer_check_interval)
         self.respect_ordering = respect_ordering
         self.max_accesses = max_accesses
+        self.concurrency = concurrency
+        self.max_workers = max_workers
         #: Aggregate result of the most recent run (set when a run completes).
         self.last_result: Optional[DistillationResult] = None
 
@@ -174,8 +220,8 @@ class DistillationExecutor:
         cache_db: Optional[CacheDatabase] = None,
         log: Optional[AccessLog] = None,
     ) -> DistillationResult:
-        """Run the simulation to completion and return the aggregate result."""
-        generator = self._run(cache_db=cache_db, log=log)
+        """Run the execution to completion and return the aggregate result."""
+        generator = self._select_run(cache_db=cache_db, log=log)
         while True:
             try:
                 next(generator)
@@ -203,8 +249,29 @@ class DistillationExecutor:
                 of being dispatched to a wrapper.
             log: an injected access log; a fresh one is created by default.
         """
-        result = yield from self._run(cache_db=cache_db, log=log)
+        result = yield from self._select_run(cache_db=cache_db, log=log)
         self.last_result = result
+
+    def _select_run(
+        self,
+        cache_db: Optional[CacheDatabase] = None,
+        log: Optional[AccessLog] = None,
+    ) -> Iterator[StreamedAnswer]:
+        """The generator for the configured concurrency mode."""
+        if self.concurrency == "real":
+            from repro.plan.dispatch import ThreadPoolDispatcher
+
+            dispatcher = ThreadPoolDispatcher(
+                self.plan,
+                self.registry,
+                max_workers=self.max_workers,
+                batch_size=self.queue_capacity,
+                answer_check_interval=self.answer_check_interval,
+                respect_ordering=self.respect_ordering,
+                max_accesses=self.max_accesses,
+            )
+            return dispatcher.run(cache_db=cache_db, log=log)
+        return self._run(cache_db=cache_db, log=log)
 
     def _run(
         self,
@@ -221,11 +288,7 @@ class DistillationExecutor:
             log = AccessLog()
         if cache_db is None:
             cache_db = CacheDatabase()
-        for cache in self.plan.caches.values():
-            cache_db.create_cache(cache.name, cache.relation, cache.position)
-            if cache.is_artificial:
-                facts = self.plan.constant_facts.get(cache.relation.name, frozenset())
-                cache_db.cache(cache.name).add_all(facts)
+        generators = initialize_plan_caches(self.plan, cache_db)
 
         wrappers: Dict[str, _WrapperState] = {}
         for cache in self.plan.caches.values():
@@ -235,56 +298,25 @@ class DistillationExecutor:
             wrappers[cache.relation.name] = _WrapperState(cache.relation.name, latency)
 
         pending: Dict[str, Deque[WorkItem]] = {name: deque() for name in wrappers}
-        generators: Dict[str, CacheBindingGenerator] = {
-            cache.name: CacheBindingGenerator(cache, cache_db)
-            for cache in self.plan.caches.values()
-            if not cache.is_artificial
-        }
         #: Completion events of the in-flight accesses: ``(finish, relation)``.
         events: List[Tuple[float, str]] = []
 
-        answers: Set[Row] = set()
-        answer_times: Dict[Row, float] = {}
-        first_answer_time: Optional[float] = None
+        tracker = AnswerTracker(self.plan, cache_db)
         clock = 0.0
         sequential_time = 0.0
         completed_since_check = 0
         budget_exhausted = False
 
-        def _offer_pass() -> bool:
-            """One pass over the caches; True when any cache's contents changed."""
-            changed = False
-            for cache in self.plan.caches.values():
-                if cache.is_artificial:
-                    continue
-                if self.respect_ordering and self._has_earlier_backlog(cache, pending, wrappers):
-                    continue
-                # The generator yields each binding of this cache exactly
-                # once over the whole run, so no dedup set is needed here.
-                for binding in generators[cache.name].fresh_bindings():
-                    meta = cache_db.meta_cache(cache.relation)
-                    if meta.has_access(binding):
-                        # Another occurrence — or an earlier query of the same
-                        # engine session — already fetched this access tuple:
-                        # read the extraction from the meta-cache at no cost.
-                        if cache_db.cache(cache.name).add_all(meta.rows_for(binding)):
-                            changed = True
-                        continue
-                    # Enqueueing work does not change cache contents, so it
-                    # cannot enable further bindings: no fixpoint re-scan.
-                    pending[cache.relation.name].append((cache.name, binding))
-            return changed
+        def _enqueue(cache: CachePredicate, binding: Tuple[object, ...]) -> None:
+            pending[cache.relation.name].append((cache.name, binding))
+
+        def _held_back(cache: CachePredicate) -> bool:
+            return self.respect_ordering and self._has_earlier_backlog(
+                cache, pending, wrappers
+            )
 
         def offer_new_work() -> None:
-            """Offer every enabled access, to a fixpoint.
-
-            Rows served from the (possibly session-shared) meta-caches can
-            transitively enable further bindings without any wrapper ever
-            running, so a single pass is not enough: iterate until nothing
-            new is offered or served.
-            """
-            while _offer_pass():
-                pass
+            offer_until_fixpoint(self.plan, cache_db, generators, _enqueue, _held_back)
 
         def refill_queues(now: float) -> None:
             """Move backlog into free queue slots and schedule idle wrappers."""
@@ -296,20 +328,6 @@ class DistillationExecutor:
                     start = max(state.busy_until, now)
                     state.scheduled = True
                     heapq.heappush(events, (start + state.latency, name))
-
-        def check_answers(now: float) -> List[StreamedAnswer]:
-            """Evaluate the query over the caches; return the newly derived rows."""
-            nonlocal first_answer_time
-            current = self.plan.rewritten_query.evaluate(cache_db.contents())
-            fresh: List[StreamedAnswer] = []
-            for row in current:
-                if row not in answer_times:
-                    answer_times[row] = now
-                    fresh.append(StreamedAnswer(row=row, simulated_time=now))
-            answers.update(current)
-            if current and first_answer_time is None:
-                first_answer_time = now
-            return fresh
 
         offer_new_work()
         refill_queues(clock)
@@ -332,19 +350,15 @@ class DistillationExecutor:
             cache_name, binding = state.queue.popleft()
             cache = self.plan.caches[cache_name]
 
-            access = AccessTuple(cache.relation.name, binding)
-            rows = self.registry.access(cache.relation.name, binding, log=None)
+            # The heap clock is the authoritative one: the access record is
+            # stamped with this event's finish time, not any wrapper-local
+            # count-times-latency approximation.
+            rows = self.registry.access(
+                cache.relation.name, binding, log, simulated_time=finish
+            )
             state.accesses += 1
             state.busy_until = finish
             sequential_time += state.latency
-            log.record(
-                AccessRecord(
-                    access=access,
-                    rows=rows,
-                    sequence_number=log.total_accesses,
-                    simulated_time=finish,
-                )
-            )
             meta = cache_db.meta_cache(cache.relation)
             meta.record(binding, rows)
             cache_db.cache(cache.name).add_all(rows)
@@ -352,21 +366,21 @@ class DistillationExecutor:
             completed_since_check += 1
             if rows and completed_since_check >= self.answer_check_interval:
                 completed_since_check = 0
-                for streamed in check_answers(finish):
+                for streamed in tracker.check(finish):
                     yield streamed
 
             offer_new_work()
             refill_queues(clock)
 
         total_time = max((state.busy_until for state in wrappers.values()), default=0.0)
-        for streamed in check_answers(total_time):
+        for streamed in tracker.check(total_time):
             yield streamed
         return DistillationResult(
-            answers=frozenset(answers),
+            answers=frozenset(tracker.answers),
             access_log=log,
+            time_to_first_answer=tracker.first_answer_time,
+            answer_times=tracker.answer_times,
             total_time=total_time,
-            time_to_first_answer=first_answer_time,
-            answer_times=answer_times,
             sequential_time=sequential_time,
             budget_exhausted=budget_exhausted,
         )

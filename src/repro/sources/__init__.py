@@ -4,7 +4,9 @@ This package models the data-extraction half of Figure 5 of the paper:
 
 * :class:`~repro.sources.access.AccessTuple` — the binding with which a
   source is accessed (one value per input argument);
-* :class:`~repro.sources.wrapper.SourceWrapper` — wraps a relation instance
+* :class:`~repro.sources.backend.SourceBackend` — the physical store behind
+  one wrapper (in-memory instance, SQLite table, arbitrary callable);
+* :class:`~repro.sources.wrapper.SourceWrapper` — wraps a source backend
   and serves accesses while counting them and charging a configurable
   latency;
 * :class:`~repro.sources.wrapper.SourceRegistry` — the set of wrappers for a
@@ -16,6 +18,14 @@ This package models the data-extraction half of Figure 5 of the paper:
 """
 
 from repro.sources.access import AccessRecord, AccessTuple
+from repro.sources.backend import (
+    BACKEND_KINDS,
+    CallableBackend,
+    InMemoryBackend,
+    SourceBackend,
+    SQLiteBackend,
+    build_backend,
+)
 from repro.sources.cache import AccessTable, CacheDatabase, CacheTable, MetaCache
 from repro.sources.log import AccessLog
 from repro.sources.wrapper import SourceRegistry, SourceWrapper
@@ -25,9 +35,15 @@ __all__ = [
     "AccessRecord",
     "AccessTable",
     "AccessTuple",
+    "BACKEND_KINDS",
     "CacheDatabase",
     "CacheTable",
+    "CallableBackend",
+    "InMemoryBackend",
     "MetaCache",
+    "SQLiteBackend",
+    "SourceBackend",
     "SourceRegistry",
     "SourceWrapper",
+    "build_backend",
 ]

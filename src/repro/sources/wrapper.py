@@ -2,89 +2,167 @@
 
 A wrapper hides a data source behind the access interface of the paper: the
 only operation it supports is an *access*, i.e. a lookup with every input
-argument bound.  Wrappers count their accesses, charge a configurable
-per-access latency to a simulated clock, and can be shared by several
-executions through a :class:`SourceRegistry`.
+argument bound.  Wrappers count their accesses, carry a configurable
+per-access simulated latency, and can be shared by several executions
+through a :class:`SourceRegistry`.
 
-In the paper the wrappers issue SQL selections against remote or local
-sources; here they answer from an in-memory :class:`RelationInstance`, which
-preserves the only quantity the optimization is about — the number of
-accesses — while keeping experiments fast and deterministic.
+Where the rows actually come from is the business of the wrapper's
+:class:`~repro.sources.backend.SourceBackend`: the in-memory instance of the
+seed, a SQLite table answering indexed selections, or an arbitrary callable
+(the hook for remote sources).  The wrapper itself only does the
+bookkeeping the optimization is about — counting accesses, validating
+bindings, and recording :class:`~repro.sources.access.AccessRecord` entries.
+
+Timestamps are the executors' responsibility: records are stamped with the
+``simulated_time`` the caller passes, because only the executor knows the
+authoritative clock (the heap-based event clock of the distillation
+scheduler, or the cumulative sequential clock of the one-at-a-time
+strategies).  The wrapper keeps no clock of its own — a per-wrapper
+``count × latency`` clock silently diverges from the scheduler's as soon as
+wrappers run in parallel.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.exceptions import AccessError
 from repro.model.instance import DatabaseInstance, RelationInstance
 from repro.model.schema import RelationSchema, Schema
 from repro.sources.access import AccessRecord, AccessTuple, validate_binding
+from repro.sources.backend import BackendLike, SourceBackend, as_backend, build_backend
 from repro.sources.log import AccessLog
+
+Row = Tuple[object, ...]
+Binding = Tuple[object, ...]
 
 
 class SourceWrapper:
-    """Wraps one relation instance behind the access interface."""
+    """Wraps one source backend behind the access interface."""
 
     def __init__(
         self,
-        instance: RelationInstance,
+        source: Union[RelationInstance, SourceBackend],
         latency: float = 0.0,
     ) -> None:
-        self.instance = instance
+        self.backend = as_backend(source)
+        #: The in-memory instance, when the backend has one (back-compat).
+        self.instance: Optional[RelationInstance] = getattr(self.backend, "instance", None)
         self.latency = latency
         self.access_count = 0
-        self.simulated_clock = 0.0
 
     @property
     def schema(self) -> RelationSchema:
-        return self.instance.schema
+        return self.backend.schema
 
     @property
     def name(self) -> str:
         return self.schema.name
 
+    # -- pure lookups (no counting) -------------------------------------------
+    def lookup(self, binding: Binding) -> FrozenSet[Row]:
+        """Answer one binding from the backend without counting an access.
+
+        Thread-safe (delegates straight to the backend); the real-concurrency
+        dispatcher calls this from worker threads and does the counting in
+        the coordinator via :meth:`record_access`.
+        """
+        binding = tuple(binding)
+        validate_binding(self.schema, binding)
+        return self.backend.lookup(binding)
+
+    def lookup_many(self, bindings: Sequence[Binding]) -> List[FrozenSet[Row]]:
+        """Answer a batch of bindings without counting; one result per binding."""
+        validated = [tuple(binding) for binding in bindings]
+        for binding in validated:
+            validate_binding(self.schema, binding)
+        return self.backend.lookup_many(validated)
+
+    # -- counted accesses -----------------------------------------------------
+    def record_access(
+        self,
+        binding: Binding,
+        rows: FrozenSet[Row],
+        log: Optional[AccessLog] = None,
+        simulated_time: float = 0.0,
+    ) -> None:
+        """Count one performed access and, when a log is supplied, record it.
+
+        ``simulated_time`` is the executor's authoritative clock at the
+        access's completion — the event-heap clock for the distillation
+        scheduler, the cumulative latency sum for the sequential strategies.
+        """
+        self.access_count += 1
+        if log is not None:
+            log.record(
+                AccessRecord(
+                    access=AccessTuple(self.name, tuple(binding)),
+                    rows=rows,
+                    sequence_number=log.total_accesses,
+                    simulated_time=simulated_time,
+                )
+            )
+
     def access(
         self,
-        binding: Tuple[object, ...],
+        binding: Binding,
         log: Optional[AccessLog] = None,
-    ) -> FrozenSet[Tuple[object, ...]]:
+        simulated_time: float = 0.0,
+    ) -> FrozenSet[Row]:
         """Perform one access with the given binding.
 
         The binding must contain exactly one value per input argument of the
         relation, in the order of the input positions.  The matching tuples
         are returned; the access is counted and, when a log is supplied,
-        recorded there.
+        recorded there with the caller's clock.
         """
-        binding = tuple(binding)
-        validate_binding(self.schema, binding)
-        self.access_count += 1
-        self.simulated_clock += self.latency
-        rows = self.instance.lookup(binding)
-        if log is not None:
-            log.record(
-                AccessRecord(
-                    access=AccessTuple(self.name, binding),
-                    rows=rows,
-                    sequence_number=log.total_accesses,
-                    simulated_time=self.simulated_clock,
-                )
-            )
+        rows = self.lookup(binding)
+        self.record_access(binding, rows, log, simulated_time)
         return rows
+
+    def access_many(
+        self,
+        bindings: Sequence[Binding],
+        log: Optional[AccessLog] = None,
+        simulated_time: float = 0.0,
+    ) -> List[FrozenSet[Row]]:
+        """Perform a batch of accesses in one backend round.
+
+        Each binding counts as one access (the batch is a transport
+        optimization, not a semantic one) and is logged individually, all
+        stamped with the same completion clock.
+        """
+        results = self.lookup_many(bindings)
+        for binding, rows in zip(bindings, results):
+            self.record_access(binding, rows, log, simulated_time)
+        return results
 
     def reset_counters(self) -> None:
         self.access_count = 0
-        self.simulated_clock = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SourceWrapper({self.name!r}, {len(self.instance)} tuples)"
+        return f"SourceWrapper({self.name!r}, backend={self.backend.kind!r})"
 
 
 class SourceRegistry:
     """The set of wrappers over a database instance.
 
     The registry is the single entry point the executors use to reach the
-    sources; it owns the shared :class:`AccessLog` for one execution.
+    sources.  ``backend`` selects how every wrapper answers its accesses: a
+    kind name from :data:`~repro.sources.backend.BACKEND_KINDS` (``memory``,
+    ``sqlite``, ``callable``) or a factory ``RelationInstance ->
+    SourceBackend`` for custom sources; ``real_latency`` is the injected
+    wall-clock sleep per lookup when the callable kind is chosen.
     """
 
     def __init__(
@@ -92,16 +170,20 @@ class SourceRegistry:
         database: DatabaseInstance,
         latency: float = 0.0,
         per_relation_latency: Optional[Mapping[str, float]] = None,
+        backend: BackendLike = "memory",
+        real_latency: float = 0.0,
     ) -> None:
         self.database = database
         self.schema: Schema = database.schema
         self.default_latency = latency
+        self.backend_kind = backend if isinstance(backend, str) else "custom"
         self._wrappers: Dict[str, SourceWrapper] = {}
         for relation in database:
             relation_latency = latency
             if per_relation_latency and relation.schema.name in per_relation_latency:
                 relation_latency = per_relation_latency[relation.schema.name]
-            self._wrappers[relation.schema.name] = SourceWrapper(relation, relation_latency)
+            built = build_backend(relation, backend, real_latency=real_latency)
+            self._wrappers[relation.schema.name] = SourceWrapper(built, relation_latency)
 
     # -- lookup --------------------------------------------------------------
     def wrapper(self, relation_name: str) -> SourceWrapper:
@@ -138,11 +220,22 @@ class SourceRegistry:
     def access(
         self,
         relation_name: str,
-        binding: Tuple[object, ...],
+        binding: Binding,
         log: Optional[AccessLog] = None,
-    ) -> FrozenSet[Tuple[object, ...]]:
+        simulated_time: float = 0.0,
+    ) -> FrozenSet[Row]:
         """Access a relation by name (see :meth:`SourceWrapper.access`)."""
-        return self.wrapper(relation_name).access(binding, log)
+        return self.wrapper(relation_name).access(binding, log, simulated_time)
+
+    def access_many(
+        self,
+        relation_name: str,
+        bindings: Sequence[Binding],
+        log: Optional[AccessLog] = None,
+        simulated_time: float = 0.0,
+    ) -> List[FrozenSet[Row]]:
+        """Batched access by relation name (see :meth:`SourceWrapper.access_many`)."""
+        return self.wrapper(relation_name).access_many(bindings, log, simulated_time)
 
     def reset_counters(self) -> None:
         for wrapper in self._wrappers.values():
@@ -151,11 +244,17 @@ class SourceRegistry:
     def total_access_count(self) -> int:
         return sum(wrapper.access_count for wrapper in self._wrappers.values())
 
+    def close(self) -> None:
+        """Close every wrapper's backend (e.g. SQLite connections)."""
+        for wrapper in self._wrappers.values():
+            wrapper.backend.close()
+
     @classmethod
     def over(
         cls,
         database: DatabaseInstance,
         latency: float = 0.0,
+        backend: BackendLike = "memory",
     ) -> "SourceRegistry":
         """Shorthand constructor used throughout the examples."""
-        return cls(database, latency=latency)
+        return cls(database, latency=latency, backend=backend)

@@ -66,3 +66,68 @@ def test_empty_body_is_query_error() -> None:
 def test_unsafe_head_variable_rejected() -> None:
     with pytest.raises(ReproError):
         parse_query("q(Z) <- r(X, Y)")
+
+
+@pytest.mark.parametrize("separator", ["<-", ":-"])
+def test_separator_inside_quoted_constant_is_not_split_on(separator: str) -> None:
+    # A plain substring search used to split inside the quoted constant.
+    query = parse_query(f"q(X) :- r(X, '{separator}')")
+    assert len(query.body) == 1
+    assert query.body[0].terms[1] == Constant(separator)
+
+
+def test_separator_search_skips_quotes_until_the_real_one() -> None:
+    query = parse_query("q(X) <- r(X, ':- tricky <- text'), s(X)")
+    assert len(query.body) == 2
+    assert query.body[0].terms[1] == Constant(":- tricky <- text")
+
+
+def test_each_anonymous_variable_is_fresh() -> None:
+    # Two `_` used to parse to the same Variable("_"), silently equi-joining
+    # positions the author meant to be independent.
+    query = parse_query("q(X) <- r(X, _), s(X, _)")
+    first = query.body[0].terms[1]
+    second = query.body[1].terms[1]
+    assert first != second
+    atom = parse_atom("r(_, _, _)")
+    assert len(set(atom.terms)) == 3
+
+
+def test_anonymous_variables_do_not_capture_written_names() -> None:
+    query = parse_query("q(X) <- r(X, _anon1), s(X, _)")
+    written = query.body[0].terms[1]
+    generated = query.body[1].terms[1]
+    assert written == Variable("_anon1")
+    assert generated != written
+
+
+def test_anonymous_variables_change_join_semantics() -> None:
+    from repro import Engine
+    from repro.model.instance import DatabaseInstance
+    from repro.model.schema import Schema
+
+    schema = Schema.from_signatures(
+        {"free": ("oo", ["D", "E"]), "r": ("io", ["D", "E"]), "s": ("io", ["D", "E"])}
+    )
+    instance = DatabaseInstance(
+        schema,
+        {"free": [("a", "x")], "r": [("a", "e1")], "s": [("a", "e2")]},
+    )
+    engine = Engine(schema, instance)
+    # r and s disagree on the second column, so joining the two `_` (the old
+    # aliasing bug) would wrongly produce no answers.
+    result = engine.execute("q(X) <- free(X, _), r(X, _), s(X, _)")
+    assert result.answers == frozenset({("a",)})
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "q(X) <- r(X, 'oops)",
+        "q(X) <- r(X, 'a), s(Y)",
+        'q(X) <- r(X, "unclosed)',
+    ],
+)
+def test_unterminated_quote_is_a_parse_error(bad: str) -> None:
+    with pytest.raises(ParseError):
+        parse_query(bad)

@@ -1,0 +1,78 @@
+"""The scenario-generator library: every topology's expected answers hold
+under every strategy, and the registry resolves names and parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.examples import (
+    SCENARIOS,
+    cyclic_example,
+    diamond_example,
+    make_scenario,
+    skewed_fanout_example,
+    star_example,
+)
+from repro.exceptions import ReproError
+
+STRATEGIES = ("naive", "fast_fail", "distillation")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_every_scenario_default_agrees_across_strategies(name: str) -> None:
+    example = make_scenario(name)
+    engine = Engine(example.schema, example.instance)
+    for strategy in STRATEGIES:
+        result = engine.execute(
+            example.query_text, strategy=strategy, share_session_cache=False
+        )
+        assert result.answers == example.expected_answers, (name, strategy)
+
+
+def test_star_selectivity_controls_answer_count() -> None:
+    full = star_example(rays=3, width=8, selectivity=1.0)
+    half = star_example(rays=3, width=8, selectivity=0.5)
+    assert len(full.expected_answers) == 8
+    assert len(half.expected_answers) == 4
+    assert half.expected_answers < full.expected_answers
+
+
+def test_diamond_sink_requires_both_branches() -> None:
+    example = diamond_example(width=6, selectivity=0.5)
+    engine = Engine(example.schema, example.instance)
+    result = engine.execute(example.query_text, strategy="fast_fail")
+    assert result.answers == example.expected_answers
+    assert len(result.answers) == 3
+    # The sink is only reachable once both branches have delivered values.
+    assert result.accesses_of("sink") > 0
+
+
+def test_skewed_fanout_shapes_the_instance() -> None:
+    example = skewed_fanout_example(keys=5, hot_keys=2, hot_fanout=10, cold_fanout=1)
+    fan = example.instance.relation("fan")
+    per_key = {f"u{i}": 0 for i in range(5)}
+    for row in fan:
+        per_key[row[0]] += 1
+    assert per_key["u0"] == per_key["u1"] == 10
+    assert per_key["u2"] == per_key["u3"] == per_key["u4"] == 1
+    assert len(example.expected_answers) == 2 * 10 + 3 * 1
+
+
+def test_cycle_pumps_the_ring_past_the_seeds() -> None:
+    example = cyclic_example(size=10, seeds=1)
+    engine = Engine(example.schema, example.instance)
+    result = engine.execute(example.query_text, strategy="fast_fail")
+    assert result.answers == example.expected_answers == frozenset({("v2",)})
+    # The cyclic provider feeds step outputs back into step inputs, so the
+    # executor makes more step accesses than the two hops the query needs.
+    assert result.accesses_of("step") >= 2
+
+
+def test_make_scenario_rejects_unknown_names_and_bad_params() -> None:
+    with pytest.raises(ReproError):
+        make_scenario("moebius")
+    with pytest.raises(ReproError):
+        make_scenario("star", rays=0)
+    with pytest.raises(ReproError):
+        make_scenario("star", no_such_parameter=1)
