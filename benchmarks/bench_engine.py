@@ -22,10 +22,14 @@ The run doubles as an equivalence suite:
 * a concurrency-equivalence pass runs the distillation strategy with
   ``concurrency="real"`` (actual thread-pool accesses against a
   latency-injecting callable backend) and asserts its answers match the
-  deterministic simulation's.
+  deterministic simulation's;
+* a multi-query throughput pass replays a mixed scenario stream over one
+  engine session, sequentially and with ``Engine.execute_many``
+  concurrency, reporting QPS and the session meta-cache hit rate and
+  asserting that concurrent answers/access counts are deterministic.
 
-``--smoke`` runs the two smallest chain workloads plus both equivalence
-passes — the CI benchmark-smoke job.
+``--smoke`` runs the two smallest chain workloads plus all the
+equivalence/throughput passes — the CI benchmark-smoke job.
 
 Usage::
 
@@ -49,6 +53,7 @@ from repro.examples import (  # noqa: E402
     chain_example,
     cyclic_example,
     diamond_example,
+    mixed_workload,
     skewed_fanout_example,
     star_example,
     wide_fanout_example,
@@ -80,15 +85,15 @@ def bench_one(example: Example) -> Dict[str, object]:
         "strategies": {},
     }
     for strategy in STRATEGIES:
-        engine = Engine(example.schema, example.instance, latency=ACCESS_LATENCY)
-        started = time.perf_counter()
-        result = engine.execute(
-            example.query_text,
-            strategy=strategy,
-            share_session_cache=False,
-            answer_check_interval=ANSWER_CHECK_INTERVAL,
-        )
-        wall = time.perf_counter() - started
+        with Engine(example.schema, example.instance, latency=ACCESS_LATENCY) as engine:
+            started = time.perf_counter()
+            result = engine.execute(
+                example.query_text,
+                strategy=strategy,
+                share_session_cache=False,
+                answer_check_interval=ANSWER_CHECK_INTERVAL,
+            )
+            wall = time.perf_counter() - started
         assert result.answers == example.expected_answers, (
             f"{strategy} returned wrong answers on {example.name}"
         )
@@ -114,15 +119,12 @@ def bench_backends(example: Example) -> Dict[str, object]:
     for backend in BACKENDS:
         per_strategy: Dict[str, object] = {}
         for strategy in STRATEGIES:
-            engine = Engine(example.schema, example.instance, backend=backend)
-            started = time.perf_counter()
-            try:
+            with Engine(example.schema, example.instance, backend=backend) as engine:
+                started = time.perf_counter()
                 result = engine.execute(
                     example.query_text, strategy=strategy, share_session_cache=False
                 )
-            finally:
-                engine.close()
-            wall = time.perf_counter() - started
+                wall = time.perf_counter() - started
             assert result.answers == example.expected_answers, (
                 f"{strategy} on backend {backend} returned wrong answers on {example.name}"
             )
@@ -144,15 +146,15 @@ def bench_backends(example: Example) -> Dict[str, object]:
 
 def bench_real_concurrency(example: Example) -> Dict[str, object]:
     """Real thread-pool distillation vs the simulation: identical answers."""
-    simulated = Engine(example.schema, example.instance).execute(
-        example.query_text, strategy="distillation", share_session_cache=False
-    )
+    with Engine(example.schema, example.instance) as sim_engine:
+        simulated = sim_engine.execute(
+            example.query_text, strategy="distillation", share_session_cache=False
+        )
     registry = SourceRegistry(
         example.instance, backend="callable", real_latency=REAL_BACKEND_LATENCY
     )
-    engine = Engine(example.schema, registry)
-    started = time.perf_counter()
-    try:
+    with Engine(example.schema, registry) as engine:
+        started = time.perf_counter()
         result = engine.execute(
             example.query_text,
             strategy="distillation",
@@ -160,9 +162,7 @@ def bench_real_concurrency(example: Example) -> Dict[str, object]:
             concurrency="real",
             max_workers=8,
         )
-    finally:
-        engine.close()
-    wall = time.perf_counter() - started
+        wall = time.perf_counter() - started
     assert result.answers == simulated.answers == example.expected_answers, (
         f"real-concurrency distillation diverged from the simulation on {example.name}"
     )
@@ -177,6 +177,77 @@ def bench_real_concurrency(example: Example) -> Dict[str, object]:
         "parallel_speedup": round(raw.parallel_speedup, 3),
         "matches_simulated": True,
     }
+
+
+#: Real per-lookup latency injected in the multi-query throughput pass —
+#: large enough that concurrent queries genuinely overlap.
+WORKLOAD_BACKEND_LATENCY = 0.002
+
+#: Scenario mix replayed by the multi-query throughput pass.
+WORKLOAD_MIX = ("star", "diamond", "chain")
+
+
+def bench_workload_throughput() -> Dict[str, object]:
+    """Multi-query throughput over one shared engine session.
+
+    Replays a mixed scenario stream sequentially (``max_parallel=1``) and
+    concurrently (``max_parallel=4``) over a latency-injecting callable
+    backend, reporting QPS and the session meta-cache hit rate.  The
+    concurrent run is repeated to assert that answers and access counts
+    are deterministic — the session's claim protocol guarantees no access
+    is ever performed twice, no matter how the threads interleave.
+    """
+    workload = mixed_workload(WORKLOAD_MIX, repeat=2)
+    entry: Dict[str, object] = {"workload": workload.name, "runs": {}}
+    observed: Dict[int, Dict[str, object]] = {}
+    for max_parallel in (1, 4, 4):
+        registry = SourceRegistry(
+            workload.instance, backend="callable", real_latency=WORKLOAD_BACKEND_LATENCY
+        )
+        with Engine(workload.schema, registry) as engine:
+            report = engine.run_workload(
+                workload.query_texts(), strategy="fast_fail", max_parallel=max_parallel
+            )
+        for query, result in zip(workload.queries, report.results):
+            assert result.answers == query.expected_answers, (
+                f"workload query {query.scenario!r} returned wrong answers "
+                f"at max_parallel={max_parallel}"
+            )
+        record = {
+            "qps": round(report.qps, 3),
+            "wall_seconds": round(report.wall_seconds, 6),
+            "total_accesses": report.total_accesses,
+            "meta_hits": report.meta_hits,
+            "hit_rate": round(report.hit_rate, 4),
+            "peak_in_flight": report.peak_in_flight,
+        }
+        if max_parallel in observed:
+            # Determinism across runs: concurrent interleavings must not
+            # change what was accessed.
+            previous = observed[max_parallel]
+            assert record["total_accesses"] == previous["total_accesses"], (
+                "concurrent workload access counts diverged between runs"
+            )
+            assert record["meta_hits"] == previous["meta_hits"], (
+                "concurrent workload meta-hit counts diverged between runs"
+            )
+        else:
+            observed[max_parallel] = record
+            entry["runs"][f"max_parallel_{max_parallel}"] = record  # type: ignore[index]
+    parallel_run = observed[4]
+    assert parallel_run["peak_in_flight"] > 1, (
+        "expected more than one query in flight at max_parallel=4"
+    )
+    assert observed[1]["total_accesses"] == parallel_run["total_accesses"], (
+        "concurrent workload made different accesses than the sequential replay"
+    )
+    entry["queries"] = len(workload.queries)
+    entry["backend_latency"] = WORKLOAD_BACKEND_LATENCY
+    entry["deterministic"] = True
+    entry["speedup"] = round(
+        observed[1]["wall_seconds"] / parallel_run["wall_seconds"], 3
+    )
+    return entry
 
 
 def workloads(smoke: bool) -> List[Example]:
@@ -230,6 +301,15 @@ def main(argv: List[str] | None = None) -> int:
         f"{real_entry['accesses']} accesses, makespan {real_entry['makespan_seconds']}s, "
         f"speedup {real_entry['parallel_speedup']}x"
     )
+    throughput_entry = bench_workload_throughput()
+    parallel_run = throughput_entry["runs"]["max_parallel_4"]  # type: ignore[index]
+    print(
+        f"workload throughput on {throughput_entry['workload']}: "
+        f"{parallel_run['qps']} qps at max_parallel 4 "
+        f"(hit rate {parallel_run['hit_rate']}, "
+        f"peak in flight {parallel_run['peak_in_flight']}, "
+        f"{throughput_entry['speedup']}x vs sequential)"
+    )
 
     report = {
         "benchmark": "bench_engine",
@@ -243,6 +323,7 @@ def main(argv: List[str] | None = None) -> int:
         "results": results,
         "backend_equivalence": backend_entry,
         "real_concurrency": real_entry,
+        "workload_throughput": throughput_entry,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")

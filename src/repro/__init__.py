@@ -22,6 +22,7 @@ from repro.engine import (
     Result,
     SourceBreakdown,
     Termination,
+    WorkloadReport,
     available_strategies,
     register_strategy,
     resolve_strategy,
@@ -65,6 +66,7 @@ __all__ = [
     "SourceRegistry",
     "StreamedAnswer",
     "Termination",
+    "WorkloadReport",
     "available_strategies",
     "build_backend",
     "parse_query",

@@ -1,11 +1,12 @@
-"""Command-line interface: ``python -m repro {plan,run,explain}``.
+"""Command-line interface: ``python -m repro {plan,run,explain,workload}``.
 
 The CLI drives the :class:`~repro.engine.Engine` façade end to end.  The
 schema and data come from a JSON workload file (``--workload``), the
 built-in paper example (``--example``), or a generated scenario topology
 (``--scenario``); ``--backend`` picks where accesses are answered from and
 ``--concurrency real`` runs the distillation strategy over an actual
-thread pool::
+thread pool.  ``workload`` replays a mixed multi-scenario query stream
+concurrently over one engine session and reports throughput::
 
     python -m repro plan --example
     python -m repro run --example --strategy fast_fail
@@ -15,6 +16,7 @@ thread pool::
     python -m repro run --scenario star:rays=4,width=10 --backend sqlite
     python -m repro run --scenario diamond --backend callable --backend-latency 0.005 \
         --strategy distillation --concurrency real
+    python -m repro workload --mix star,diamond,chain --repeat 2 --max-parallel 4
 
 Workload file format::
 
@@ -33,7 +35,7 @@ import sys
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine import Engine, available_strategies
-from repro.examples import SCENARIOS, make_scenario, running_example
+from repro.examples import SCENARIOS, make_scenario, mixed_workload, running_example
 from repro.exceptions import ReproError
 from repro.model.instance import DatabaseInstance
 from repro.model.schema import Schema
@@ -157,7 +159,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _command_plan(args: argparse.Namespace) -> int:
     engine, query = _build_engine(args)
-    try:
+    with engine:
         prepared = engine.plan(query)
         if args.json:
             explanation = prepared.explain()
@@ -167,21 +169,17 @@ def _command_plan(args: argparse.Namespace) -> int:
         else:
             print(prepared.plan.describe())
         return 0
-    finally:
-        engine.close()
 
 
 def _command_explain(args: argparse.Namespace) -> int:
     engine, query = _build_engine(args)
-    try:
+    with engine:
         explanation = engine.explain(query)
         if args.json:
             print(json.dumps(explanation.to_dict(), indent=2))
         else:
             print(explanation.describe())
         return 0
-    finally:
-        engine.close()
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -194,7 +192,7 @@ def _command_run(args: argparse.Namespace) -> int:
             f"not {strategy!r}; pass --strategy distillation"
         )
     engine, query = _build_engine(args)
-    try:
+    with engine:
         prepared = engine.plan(query)
         if args.stream:
             streamed = []
@@ -233,8 +231,67 @@ def _command_run(args: argparse.Namespace) -> int:
             print()
             print(result.summary())
         return 0
-    finally:
-        engine.close()
+
+
+def _command_workload(args: argparse.Namespace) -> int:
+    """Replay a mixed multi-scenario query stream concurrently."""
+    mix = tuple(filter(None, (name.strip() for name in args.mix.split(","))))
+    workload = mixed_workload(mix, repeat=args.repeat)
+    registry = SourceRegistry(
+        workload.instance,
+        latency=args.latency,
+        backend=args.backend,
+        real_latency=args.backend_latency,
+    )
+    with Engine(workload.schema, registry) as engine:
+        report = engine.run_workload(
+            workload.query_texts(),
+            strategy=args.strategy,
+            max_parallel=args.max_parallel,
+        )
+        mismatches = [
+            query.scenario
+            for query, result in zip(workload.queries, report.results)
+            if result.answers != query.expected_answers
+        ]
+        if args.json:
+            payload = report.to_dict()
+            payload["workload"] = workload.name
+            payload["strategy"] = args.strategy
+            payload["backend"] = args.backend
+            payload["verified"] = not mismatches
+            payload["per_query"] = [
+                {
+                    "scenario": query.scenario,
+                    "answers": len(result.answers),
+                    "accesses": result.total_accesses,
+                }
+                for query, result in zip(workload.queries, report.results)
+            ]
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                f"{len(report.results)} queries over {workload.name} "
+                f"(strategy {args.strategy}, backend {args.backend}, "
+                f"max_parallel {args.max_parallel})"
+            )
+            for query, result in zip(workload.queries, report.results):
+                print(
+                    f"  {query.scenario:>14}: {len(result.answers):>4} answers, "
+                    f"{result.total_accesses:>4} accesses"
+                )
+            verdict = "ok" if not mismatches else f"MISMATCH in {sorted(set(mismatches))}"
+            print(f"answers verified: {verdict}")
+            print(
+                f"wall {report.wall_seconds:.3f}s  qps {report.qps:.1f}  "
+                f"accesses {report.total_accesses}  meta hits {report.meta_hits} "
+                f"(hit rate {report.hit_rate:.1%})  "
+                f"peak in flight {report.peak_in_flight}"
+            )
+        if mismatches:
+            print("error: some queries returned unexpected answers", file=sys.stderr)
+            return 1
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -282,6 +339,58 @@ def build_parser() -> argparse.ArgumentParser:
     explain_parser = subparsers.add_parser("explain", help="print the explain() pipeline output")
     _add_common_arguments(explain_parser)
     explain_parser.set_defaults(handler=_command_explain)
+
+    workload_parser = subparsers.add_parser(
+        "workload",
+        help="replay a mixed scenario query stream concurrently and report throughput",
+    )
+    workload_parser.add_argument(
+        "--mix",
+        default="star,diamond,chain",
+        metavar="NAMES",
+        help=(
+            f"comma-separated scenario names ({', '.join(sorted(SCENARIOS))}); "
+            "default: star,diamond,chain"
+        ),
+    )
+    workload_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="how many times each scenario's query appears in the stream (default: 2)",
+    )
+    workload_parser.add_argument(
+        "--max-parallel",
+        type=int,
+        default=4,
+        help="how many queries run concurrently over the shared session (default: 4)",
+    )
+    workload_parser.add_argument(
+        "--strategy",
+        "-s",
+        default="fast_fail",
+        help=f"execution strategy ({', '.join(available_strategies())}); default: fast_fail",
+    )
+    workload_parser.add_argument(
+        "--backend",
+        choices=BACKEND_KINDS,
+        default="memory",
+        help="where accesses are answered from (default: memory)",
+    )
+    workload_parser.add_argument(
+        "--backend-latency",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="real injected latency per lookup for the callable backend",
+    )
+    workload_parser.add_argument(
+        "--latency", type=float, default=0.0, help="simulated per-access latency (seconds)"
+    )
+    workload_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    workload_parser.set_defaults(handler=_command_workload)
 
     return parser
 

@@ -18,7 +18,11 @@ whole workload).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Union
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.engine.explain import Explanation
 from repro.engine.prepared import PreparedPlan
@@ -40,6 +44,15 @@ from repro.sources.wrapper import SourceRegistry
 class EngineSession:
     """Cross-query state shared by every execution of one engine.
 
+    The session is safe to share between concurrently running queries: its
+    own mutation is lock-protected, the shared meta-cache mapping is
+    created under the same lock, and the meta-caches themselves serialize
+    their claims internally (see
+    :meth:`~repro.sources.cache.MetaCache.claim`), so two concurrent
+    queries never perform the same access twice — the paper's "never
+    repeat an access" invariant, lifted from one plan to the whole
+    concurrent workload.
+
     Attributes:
         meta: the shared per-relation meta-caches.  Every execution created
             through :meth:`new_cache_db` reads and feeds these, so an access
@@ -50,34 +63,92 @@ class EngineSession:
     """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self.meta: Dict[str, MetaCache] = {}
         self.log = AccessLog()
         self.executions = 0
 
     def new_cache_db(self) -> CacheDatabase:
         """A fresh cache database whose meta-caches are the session's."""
-        return CacheDatabase(shared_meta=self.meta)
+        with self._lock:
+            return CacheDatabase(shared_meta=self.meta, meta_lock=self._lock)
 
     def absorb(self, log: AccessLog) -> None:
         """Fold one execution's access log into the session log."""
-        self.log.extend(log)
-        self.executions += 1
+        with self._lock:
+            self.log.extend(log)
+            self.executions += 1
 
     @property
     def known_accesses(self) -> int:
         """Distinct accesses the session can answer without a source round-trip."""
-        return sum(len(meta) for meta in self.meta.values())
+        with self._lock:
+            return sum(len(meta) for meta in self.meta.values())
+
+    @property
+    def meta_hits(self) -> int:
+        """Accesses answered by the session meta-caches instead of a source."""
+        with self._lock:
+            return sum(meta.hits for meta in self.meta.values())
 
     def reset(self) -> None:
-        self.meta.clear()
-        self.log = AccessLog()
-        self.executions = 0
+        with self._lock:
+            self.meta.clear()
+            self.log = AccessLog()
+            self.executions = 0
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            accesses = self.log.total_accesses
+            hits = sum(meta.hits for meta in self.meta.values())
+            served = accesses + hits
+            return {
+                "executions": self.executions,
+                "total_accesses": accesses,
+                "known_accesses": sum(len(meta) for meta in self.meta.values()),
+                "meta_hits": hits,
+                "hit_rate": (hits / served) if served else 0.0,
+            }
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate outcome of one multi-query workload run.
+
+    Attributes:
+        results: one :class:`~repro.engine.result.Result` per input query,
+            in input order.
+        wall_seconds: wall-clock duration of the whole run.
+        qps: queries completed per wall-clock second.
+        total_accesses: source accesses performed across all queries.
+        meta_hits: accesses answered by the session meta-caches during the
+            run (both offer-time hits and claims served by a concurrent
+            query's access).
+        hit_rate: ``meta_hits / (meta_hits + total_accesses)``.
+        peak_in_flight: largest number of queries that were genuinely
+            executing at the same moment.
+        max_parallel: the concurrency bound the run was asked for.
+    """
+
+    results: List[Result]
+    wall_seconds: float
+    qps: float
+    total_accesses: int
+    meta_hits: int
+    hit_rate: float
+    peak_in_flight: int
+    max_parallel: int
+
+    def to_dict(self) -> Dict[str, object]:
         return {
-            "executions": self.executions,
-            "total_accesses": self.log.total_accesses,
-            "known_accesses": self.known_accesses,
+            "queries": len(self.results),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "qps": round(self.qps, 3),
+            "total_accesses": self.total_accesses,
+            "meta_hits": self.meta_hits,
+            "hit_rate": round(self.hit_rate, 4),
+            "peak_in_flight": self.peak_in_flight,
+            "max_parallel": self.max_parallel,
         }
 
 
@@ -197,17 +268,106 @@ class Engine:
         """Plan and explain in one call."""
         return self.plan(query).explain()
 
+    # -- concurrent workloads --------------------------------------------------
+    def execute_many(
+        self,
+        queries: Sequence[Union[str, ConjunctiveQuery]],
+        strategy: StrategyLike = "fast_fail",
+        max_parallel: int = 4,
+        options: Optional[ExecuteOptions] = None,
+        **overrides: object,
+    ) -> List[Result]:
+        """Execute independent queries concurrently over the shared session.
+
+        The queries run on a thread pool of ``max_parallel`` workers; all
+        of them read and feed the session's meta-caches, so an access
+        needed by several queries is performed exactly once — a query that
+        would repeat an in-flight access waits for it and reads the rows
+        for free.  Answers and the session's total access count are
+        therefore deterministic regardless of thread interleaving.
+
+        Returns one result per query, in input order.
+        """
+        return self.run_workload(
+            queries,
+            strategy=strategy,
+            max_parallel=max_parallel,
+            options=options,
+            **overrides,
+        ).results
+
+    def run_workload(
+        self,
+        queries: Sequence[Union[str, ConjunctiveQuery]],
+        strategy: StrategyLike = "fast_fail",
+        max_parallel: int = 4,
+        options: Optional[ExecuteOptions] = None,
+        **overrides: object,
+    ) -> WorkloadReport:
+        """Like :meth:`execute_many`, with throughput accounting.
+
+        Besides the per-query results, reports wall time, queries per
+        second, the session meta-cache hit rate over the run, and the peak
+        number of queries that were executing simultaneously.
+        """
+        prepared = [self.plan(query) for query in queries]
+        gauge_lock = threading.Lock()
+        in_flight = 0
+        peak = 0
+
+        def run_one(plan: PreparedPlan) -> Result:
+            nonlocal in_flight, peak
+            with gauge_lock:
+                in_flight += 1
+                peak = max(peak, in_flight)
+            try:
+                return plan.execute(strategy=strategy, options=options, **overrides)
+            finally:
+                with gauge_lock:
+                    in_flight -= 1
+
+        accesses_before = self.session.log.total_accesses
+        hits_before = self.session.meta_hits
+        started = time.perf_counter()
+        if max_parallel <= 1 or len(prepared) <= 1:
+            results = [run_one(plan) for plan in prepared]
+        else:
+            with ThreadPoolExecutor(max_workers=max_parallel) as pool:
+                results = list(pool.map(run_one, prepared))
+        wall = time.perf_counter() - started
+
+        accesses = self.session.log.total_accesses - accesses_before
+        hits = self.session.meta_hits - hits_before
+        served = accesses + hits
+        return WorkloadReport(
+            results=results,
+            wall_seconds=wall,
+            qps=(len(results) / wall) if wall > 0 else float("inf"),
+            total_accesses=accesses,
+            meta_hits=hits,
+            hit_rate=(hits / served) if served else 0.0,
+            peak_in_flight=peak,
+            max_parallel=max_parallel,
+        )
+
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
         """Close every source backend (e.g. SQLite connections); idempotent."""
         self.registry.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        # Backends are torn down on every exit path, including errors.
+        self.close()
 
     # -- session management --------------------------------------------------
     def reset_session(self) -> None:
         """Forget all shared meta-caches and the cumulative access log."""
         self.session.reset()
 
-    def session_stats(self) -> Dict[str, int]:
+    def session_stats(self) -> Dict[str, object]:
         """Counters of the current session (executions, accesses, meta hits)."""
         return self.session.stats()
 

@@ -352,6 +352,96 @@ SCENARIOS: Dict[str, Callable[..., Example]] = {
 }
 
 
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One query of a mixed workload, with its expected answers."""
+
+    text: str
+    expected_answers: FrozenSet[Tuple[object, ...]]
+    scenario: str
+
+
+@dataclass(frozen=True)
+class MixedWorkload:
+    """Several scenario topologies merged into one engine-ready workload.
+
+    The relations (and abstract domains) of every constituent scenario are
+    prefixed with a per-scenario alias, so the merged schema keeps the
+    scenarios' d-graphs disjoint: each query plans exactly as it would
+    standalone, and queries of different scenarios touch disjoint sources —
+    the shape of a multi-tenant query stream.  Queries repeat ``repeat``
+    times, so a session replaying the stream exercises its meta-caches.
+    """
+
+    name: str
+    schema: Schema
+    instance: DatabaseInstance
+    queries: Tuple[WorkloadQuery, ...]
+
+    def query_texts(self) -> Tuple[str, ...]:
+        return tuple(query.text for query in self.queries)
+
+
+def mixed_workload(
+    mix: Tuple[str, ...] = ("star", "diamond", "chain"),
+    repeat: int = 2,
+) -> MixedWorkload:
+    """Build a mixed multi-scenario workload for concurrent execution.
+
+    Args:
+        mix: scenario names from :data:`SCENARIOS` (defaults keep the
+            instance small enough for tests and CI smoke runs).
+        repeat: how many times each scenario's query appears in the stream;
+            repeats after the first are answerable entirely from a
+            session's meta-caches.
+    """
+    if repeat < 1:
+        raise ReproError("mixed_workload needs repeat >= 1")
+    if not mix:
+        raise ReproError("mixed_workload needs at least one scenario")
+    from repro.query.atoms import Atom
+    from repro.query.parser import parse_query
+
+    schema = Schema()
+    instance: DatabaseInstance
+    merged_tuples = []
+    per_scenario: list[WorkloadQuery] = []
+    for index, scenario in enumerate(mix):
+        example = make_scenario(scenario)
+        alias = f"w{index}_"
+        for relation in example.schema:
+            schema.add_relation(
+                alias + relation.name,
+                str(relation.pattern),
+                [alias + domain.name for domain in relation.domains],
+            )
+        for relation_instance in example.instance:
+            merged_tuples.append(
+                (alias + relation_instance.schema.name, relation_instance.as_set())
+            )
+        parsed = parse_query(example.query_text)
+        rewritten = parsed.with_body(
+            [Atom(alias + atom.predicate, atom.terms) for atom in parsed.body]
+        )
+        per_scenario.append(
+            WorkloadQuery(
+                text=str(rewritten),
+                expected_answers=example.expected_answers,
+                scenario=scenario,
+            )
+        )
+    instance = DatabaseInstance(schema)
+    for name, rows in merged_tuples:
+        instance.add_tuples(name, rows)
+    queries = tuple(query for _ in range(repeat) for query in per_scenario)
+    return MixedWorkload(
+        name="+".join(mix) + f"-x{repeat}",
+        schema=schema,
+        instance=instance,
+        queries=queries,
+    )
+
+
 def make_scenario(name: str, **params: object) -> Example:
     """Build a scenario by registry name, forwarding keyword parameters.
 

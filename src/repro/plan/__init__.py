@@ -4,10 +4,17 @@
   provider specifications, the rewritten query and the Datalog rendering);
 * :mod:`~repro.plan.minimal` — generation of a ⊂-minimal plan from the
   optimized d-graph (Section IV);
+* :mod:`~repro.plan.bindings` — delta-driven binding generation over the
+  cache tables' value logs;
 * :mod:`~repro.plan.naive` — the naive evaluation baseline of Figure 1;
 * :mod:`~repro.plan.execution` — the fast-failing execution strategy;
 * :mod:`~repro.plan.parallel` — the distillation (parallel, incremental
   answers) scheduler of Section V.
+
+The three execution modules are thin adapters over the shared fixpoint
+runtime (:mod:`repro.runtime`): each picks a scheduling policy and a
+dispatcher and shapes the kernel's outcome into its historical result
+type.
 """
 
 from repro.plan.execution import ExecutionOptions, ExecutionResult, FastFailingExecutor

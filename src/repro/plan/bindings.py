@@ -29,7 +29,7 @@ iteration order.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
 from repro.plan.plan import CachePredicate, ProviderSpec, QueryPlan
 from repro.sources.cache import CacheDatabase
@@ -186,54 +186,3 @@ def initialize_plan_caches(
     }
 
 
-def offer_fresh_bindings(
-    plan: QueryPlan,
-    cache_db: CacheDatabase,
-    generators: Dict[str, CacheBindingGenerator],
-    enqueue: Callable[[CachePredicate, Tuple[object, ...]], None],
-    should_skip: Optional[Callable[[CachePredicate], bool]] = None,
-) -> bool:
-    """One offering pass shared by both distillation dispatchers.
-
-    For every non-artificial cache (unless ``should_skip`` holds it back),
-    the newly enabled bindings are either served locally from the
-    relation's meta-cache — an access already made, possibly by another
-    occurrence or an earlier query of the session — or handed to
-    ``enqueue`` for the scheduler to dispatch.  Returns True when a
-    meta-cache hit changed some cache's contents (enqueueing alone cannot
-    enable further bindings, so it does not count as a change).
-    """
-    changed = False
-    for cache in plan.caches.values():
-        if cache.is_artificial:
-            continue
-        if should_skip is not None and should_skip(cache):
-            continue
-        # The generator yields each binding of this cache exactly once
-        # over the whole run, so no dedup set is needed here.
-        for binding in generators[cache.name].fresh_bindings():
-            meta = cache_db.meta_cache(cache.relation)
-            if meta.has_access(binding):
-                if cache_db.cache(cache.name).add_all(meta.rows_for(binding)):
-                    changed = True
-                continue
-            enqueue(cache, binding)
-    return changed
-
-
-def offer_until_fixpoint(
-    plan: QueryPlan,
-    cache_db: CacheDatabase,
-    generators: Dict[str, CacheBindingGenerator],
-    enqueue: Callable[[CachePredicate, Tuple[object, ...]], None],
-    should_skip: Optional[Callable[[CachePredicate], bool]] = None,
-) -> None:
-    """Offer every enabled access, to a fixpoint.
-
-    Rows served from the (possibly session-shared) meta-caches can
-    transitively enable further bindings without any wrapper ever running,
-    so a single pass is not enough: iterate until nothing new is offered
-    or served.
-    """
-    while offer_fresh_bindings(plan, cache_db, generators, enqueue, should_skip):
-        pass

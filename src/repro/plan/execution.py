@@ -17,17 +17,25 @@ ordering of the sources of the optimized d-graph:
 The strategy computes the same answers as the least-fixpoint semantics of the
 plan's Datalog program, never repeats an access, and stops as soon as the
 answer is known to be empty; this is what makes the plan ⊂-minimal.
+
+The fixpoint loop lives in the shared runtime kernel
+(:mod:`repro.runtime`): this module is a thin adapter wiring the
+:class:`~repro.runtime.policy.OrderedFastFail` policy (one kernel phase per
+ordering position, prefix-satisfiability test in between) to the
+sequential dispatcher — whose cumulative latency sum is the authoritative
+clock of a one-access-at-a-time execution — and shaping the outcome into
+:class:`ExecutionResult`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
-from repro.exceptions import ExecutionError
-from repro.plan.bindings import CacheBindingGenerator, initialize_plan_caches
-from repro.plan.plan import CachePredicate, QueryPlan
+from repro.plan.plan import QueryPlan
+from repro.runtime.kernel import FixpointKernel
+from repro.runtime.policy import OrderedFastFail
 from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
 from repro.sources.wrapper import SourceRegistry
@@ -120,140 +128,23 @@ class FastFailingExecutor:
             log = AccessLog()
         if cache_db is None:
             cache_db = CacheDatabase()
-        # Artificial constant caches are seeded from the plan's facts: they
-        # correspond to constants of the query and cost no access.
-        generators = initialize_plan_caches(self.plan, cache_db)
-
-        # The authoritative simulated clock of this (sequential) execution:
-        # accesses run back to back, so the clock is the cumulative latency
-        # of the accesses made so far.  The executor stamps every access
-        # record with it; per-wrapper clocks would diverge as soon as two
-        # relations interleave.
-        clock = _SequentialClock()
-
-        failed_fast = False
-        failed_at: Optional[int] = None
-        for position in self.plan.positions():
-            if self.options.fast_fail and not self._prefix_satisfiable(position, cache_db):
-                failed_fast = True
-                failed_at = position
-                break
-            self._populate_position(position, cache_db, log, generators, clock)
-
-        if failed_fast:
-            answers: FrozenSet[Row] = frozenset()
-        else:
-            answers = self.plan.rewritten_query.evaluate(cache_db.contents())
+        policy = OrderedFastFail(
+            self.plan,
+            cache_db,
+            fast_fail=self.options.fast_fail,
+            use_meta_cache=self.options.use_meta_cache,
+        )
+        kernel = FixpointKernel(
+            policy, self.registry, log, max_accesses=self.options.max_accesses
+        )
+        outcome = kernel.run()
         elapsed = time.perf_counter() - started
         return ExecutionResult(
-            answers=answers,
+            answers=outcome.answers,
             access_log=log,
             cache_db=cache_db,
-            failed_fast=failed_fast,
-            failed_at_position=failed_at,
+            failed_fast=policy.failed_at is not None,
+            failed_at_position=policy.failed_at,
             elapsed_seconds=elapsed,
             plan=self.plan,
         )
-
-    # ------------------------------------------------------------------------------
-    def _prefix_satisfiable(self, position: int, cache_db: CacheDatabase) -> bool:
-        """Early non-emptiness test over the already-populated caches.
-
-        Evaluates the sub-conjunction of the rewritten query restricted to the
-        atoms whose cache position is strictly smaller than ``position``; if
-        it is unsatisfiable, the whole query is certainly empty.
-        """
-        prefix_atoms = []
-        for atom_index, atom in enumerate(self.plan.rewritten_query.body):
-            cache_name = atom.predicate
-            cache = self.plan.caches.get(cache_name)
-            if cache is not None and cache.position < position:
-                prefix_atoms.append(atom)
-        if not prefix_atoms:
-            return True
-        from repro.query.evaluate import conjunction_is_satisfiable
-
-        return conjunction_is_satisfiable(prefix_atoms, cache_db.contents())
-
-    # ------------------------------------------------------------------------------
-    def _populate_position(
-        self,
-        position: int,
-        cache_db: CacheDatabase,
-        log: AccessLog,
-        generators: Dict[str, CacheBindingGenerator],
-        clock: "_SequentialClock",
-    ) -> None:
-        """Populate all caches of one ordering position to a fixpoint.
-
-        Each pass asks every cache's binding generator only for the bindings
-        enabled by values that arrived since the previous pass (semi-naive),
-        so the fixpoint costs time proportional to the new bindings, not to
-        the full provider cross product per pass.
-        """
-        caches = [
-            cache
-            for cache in self.plan.caches_at(position)
-            if not cache.is_artificial
-        ]
-        changed = True
-        while changed:
-            changed = False
-            for cache in caches:
-                if self._populate_cache_once(
-                    cache, cache_db, log, generators[cache.name], clock
-                ):
-                    changed = True
-
-    def _populate_cache_once(
-        self,
-        cache: CachePredicate,
-        cache_db: CacheDatabase,
-        log: AccessLog,
-        generator: CacheBindingGenerator,
-        clock: "_SequentialClock",
-    ) -> bool:
-        """Issue every newly enabled access of one cache; True when anything changed."""
-        table = cache_db.cache(cache.name)
-        meta = cache_db.meta_cache(cache.relation)
-        changed = False
-        for binding in generator.fresh_bindings():
-            rows = self._fetch(cache, binding, meta, log, clock)
-            if table.add_all(rows):
-                changed = True
-        return changed
-
-    def _fetch(
-        self,
-        cache: CachePredicate,
-        binding: Tuple[object, ...],
-        meta,
-        log: AccessLog,
-        clock: "_SequentialClock",
-    ) -> FrozenSet[Row]:
-        """Fetch the rows for one access tuple, via the meta-cache when possible."""
-        if self.options.use_meta_cache and meta.has_access(binding):
-            return meta.rows_for(binding)
-        if (
-            self.options.max_accesses is not None
-            and log.total_accesses >= self.options.max_accesses
-        ):
-            raise ExecutionError(
-                f"plan execution exceeded the access budget of {self.options.max_accesses}"
-            )
-        finish = clock.advance(self.registry.latency_of(cache.relation.name))
-        rows = self.registry.access(cache.relation.name, binding, log, simulated_time=finish)
-        meta.record(binding, rows)
-        return rows
-
-
-class _SequentialClock:
-    """Cumulative simulated clock of a one-access-at-a-time execution."""
-
-    def __init__(self) -> None:
-        self.now = 0.0
-
-    def advance(self, latency: float) -> float:
-        """Charge one access's latency; returns the access's completion time."""
-        self.now += latency
-        return self.now

@@ -16,24 +16,24 @@ experimental evaluation: it makes many accesses that are unnecessary
 (accessing relations that are irrelevant for the query, and accessing
 relevant relations with useless bindings).
 
-The pool keeps, per abstract domain, both a membership set and an
-append-only log of the distinct values in arrival order; each relation
-enumerates its candidate bindings through a
-:class:`~repro.plan.bindings.DeltaProduct` over the logs of its input
-domains, so a round costs time proportional to the *new* bindings rather
-than re-enumerating the full cross product and skipping the tried ones.
+The fixpoint loop itself lives in the shared runtime kernel
+(:mod:`repro.runtime`): this module is a thin adapter wiring the
+:class:`~repro.runtime.policy.EagerAllRelations` policy — the value pool,
+delta-driven binding enumeration over the pool logs, and all-relations
+offers — to a sequential dispatcher, and shaping the kernel's outcome into
+:class:`NaiveEvaluationResult`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
-from repro.exceptions import ExecutionError
 from repro.model.domains import AbstractDomain
-from repro.model.schema import RelationSchema, Schema
-from repro.plan.bindings import DeltaProduct
+from repro.model.schema import Schema
 from repro.query.conjunctive import ConjunctiveQuery
+from repro.runtime.kernel import FixpointKernel
+from repro.runtime.policy import EagerAllRelations
 from repro.sources.log import AccessLog
 from repro.sources.wrapper import SourceRegistry
 
@@ -49,7 +49,8 @@ class NaiveEvaluationResult:
         access_log: every access performed, in order.
         cache: all tuples extracted, per relation.
         value_pool: the final pool ``B`` of values, per abstract domain.
-        rounds: number of iterations of the outer extraction loop.
+        rounds: number of extraction bursts — delta passes of the runtime
+            kernel that enumerated at least one new binding.
     """
 
     answers: FrozenSet[Row]
@@ -67,26 +68,6 @@ class NaiveEvaluationResult:
 
     def rows_of(self, relation: str) -> int:
         return len(self.cache.get(relation, ()))
-
-
-class _ValuePool:
-    """The pool ``B``: per-domain membership sets plus append-only value logs."""
-
-    def __init__(self) -> None:
-        self.sets: Dict[AbstractDomain, Set[object]] = {}
-        self._logs: Dict[AbstractDomain, List[object]] = {}
-
-    def log(self, domain_: AbstractDomain) -> List[object]:
-        """The live, append-only log of one domain (created on first use)."""
-        return self._logs.setdefault(domain_, [])
-
-    def add(self, domain_: AbstractDomain, value: object) -> bool:
-        values = self.sets.setdefault(domain_, set())
-        if value in values:
-            return False
-        values.add(value)
-        self.log(domain_).append(value)
-        return True
 
 
 class NaiveEvaluator:
@@ -126,86 +107,15 @@ class NaiveEvaluator:
         query.validate_against(self.schema)
         if log is None:
             log = AccessLog()
-        cache: Dict[str, Set[Row]] = {relation.name: set() for relation in self.schema}
-        pool = _ValuePool()
-
-        # Step 1: initialize B with the constants of the query, typed by the
-        # abstract domains of the positions where they occur.
-        for constant, domains in query.constant_domains(self.schema).items():
-            for domain_ in domains:
-                pool.add(domain_, constant.value)
-
-        # One delta product per relation over the logs of its input domains:
-        # each round enumerates only the bindings not produced before.
-        products: Dict[str, DeltaProduct] = {
-            relation.name: DeltaProduct(
-                [pool.log(domain_) for domain_ in relation.input_domains]
-            )
-            for relation in self.schema
-        }
-        free_accessed: Set[str] = set()
-
-        attempted = 0
-        rounds = 0
-        changed = True
-        # Accesses run back to back, so the authoritative clock is the
-        # cumulative latency of the accesses made so far; the evaluator
-        # stamps every record with it (per-wrapper clocks would interleave).
-        clock = 0.0
-        while changed:
-            changed = False
-            rounds += 1
-            for relation in self.schema:
-                latency = self.registry.latency_of(relation.name)
-                for binding in self._fresh_bindings(relation, products, free_accessed):
-                    attempted += 1
-                    if self.max_accesses is not None and attempted > self.max_accesses:
-                        raise ExecutionError(
-                            f"naive evaluation exceeded the access budget of {self.max_accesses}"
-                        )
-                    clock += latency
-                    rows = self.registry.access(relation.name, binding, log, simulated_time=clock)
-                    changed = True
-                    if rows:
-                        cache[relation.name].update(rows)
-                        self._pour_values(relation, rows, pool)
-
-        answers = query.evaluate(cache)
-        return NaiveEvaluationResult(
-            answers=answers,
-            access_log=log,
-            cache=cache,
-            value_pool=pool.sets,
-            rounds=rounds,
+        policy = EagerAllRelations(self.schema, query)
+        kernel = FixpointKernel(
+            policy, self.registry, log, max_accesses=self.max_accesses
         )
-
-    # ------------------------------------------------------------------------------
-    def _fresh_bindings(
-        self,
-        relation: RelationSchema,
-        products: Dict[str, DeltaProduct],
-        free_accessed: Set[str],
-    ) -> Iterator[Tuple[object, ...]]:
-        """The candidate bindings of ``relation`` not yet enumerated."""
-        if not relation.input_domains:
-            # A free relation is accessed exactly once, with the empty binding.
-            if relation.name in free_accessed:
-                return iter(())
-            free_accessed.add(relation.name)
-            return iter(((),))
-        return products[relation.name].fresh()
-
-    def _pour_values(
-        self,
-        relation: RelationSchema,
-        rows: Iterable[Row],
-        pool: _ValuePool,
-    ) -> None:
-        """Add every value of the retrieved rows to the pool of its abstract domain.
-
-        Rows are poured in sorted order so the pool logs — and therefore the
-        binding enumeration order — never depend on set iteration order.
-        """
-        for row in sorted(rows, key=repr):
-            for position, value in enumerate(row):
-                pool.add(relation.domain_at(position), value)
+        outcome = kernel.run()
+        return NaiveEvaluationResult(
+            answers=outcome.answers,
+            access_log=log,
+            cache=policy.cache,
+            value_pool=policy.pool.sets,
+            rounds=policy.rounds,
+        )

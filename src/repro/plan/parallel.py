@@ -7,26 +7,24 @@ not full), so that as many sources as possible are accessed in parallel and
 answers are produced as early as possible, to be streamed to the user
 incrementally.
 
-The implementation below is a deterministic discrete-event simulation of
-that behaviour, driven by a heap of access-completion events keyed on
-``(finish_time, relation)``:
+The fixpoint/dispatch loop lives in the shared runtime kernel
+(:mod:`repro.runtime`): this module is a thin adapter over the
+:class:`~repro.runtime.policy.SimulatedParallel` and
+:class:`~repro.runtime.policy.RealThreadPool` policies.
 
-* every wrapper processes its FIFO queue sequentially, each access taking
-  the wrapper's latency, and wrappers run concurrently on the simulated
-  clock;
-* the earliest-finishing in-flight access is popped from the event heap in
-  O(log w); the simulated clock is the finish time of the last completed
-  access and is asserted to be non-decreasing (answers can never be
-  timestamped before the accesses that derived them);
-* after each completion, newly enabled access tuples are offered from the
-  cache database via delta-driven binding generation
-  (:mod:`repro.plan.bindings`): only bindings involving values that arrived
-  since the previous offer pass are enumerated, instead of the full cross
-  product of all provider values.
+* ``concurrency="simulated"`` (default) runs the deterministic
+  discrete-event simulation of parallel wrappers: every wrapper processes
+  its FIFO queue sequentially, each access taking the wrapper's latency,
+  and the clock is a heap of ``(finish_time, relation)`` completion events
+  enforced to be monotone (answers can never be timestamped before the
+  accesses that derived them);
+* ``concurrency="real"`` dispatches the accesses to the source backends
+  over an actual thread pool, so slow backends genuinely overlap.  Both
+  modes compute the same answers; only the clocks differ.
 
-The simulation reports the total (simulated) execution time and the time at
-which the first answer became available — the quantity the paper highlights
-when arguing that result pagination makes the system practical.
+The run reports the total execution time and the time at which the first
+answer became available — the quantity the paper highlights when arguing
+that result pagination makes the system practical.
 
 Access minimality is the job of the fast-failing executor
 (:mod:`repro.plan.execution`); the distillation scheduler deliberately trades
@@ -36,80 +34,19 @@ paper.
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, FrozenSet, Iterator, List, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
 
 from repro.exceptions import ExecutionError
-from repro.plan.bindings import initialize_plan_caches, offer_until_fixpoint
-from repro.plan.plan import CachePredicate, QueryPlan
+from repro.runtime.kernel import AnswerTracker, StreamedAnswer  # noqa: F401  (re-export)
+from repro.runtime.kernel import FixpointKernel
+from repro.runtime.policy import RealThreadPool, SimulatedParallel
+from repro.plan.plan import QueryPlan
 from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
 from repro.sources.wrapper import SourceRegistry
 
 Row = Tuple[object, ...]
-
-#: One unit of wrapper work: ``(cache_name, binding)``.
-WorkItem = Tuple[str, Tuple[object, ...]]
-
-
-@dataclass(frozen=True)
-class StreamedAnswer:
-    """One incremental answer produced by the distillation scheduler.
-
-    Attributes:
-        row: the answer tuple.
-        simulated_time: simulated clock at which the tuple became derivable
-            (at the granularity of the answer-check interval).
-    """
-
-    row: Row
-    simulated_time: float
-
-
-class AnswerTracker:
-    """Incremental answer bookkeeping shared by both distillation dispatchers.
-
-    Evaluates the rewritten query over the caches on demand, remembers every
-    answer's first derivation time, and reports which rows are new — the
-    rows to stream.  ``now`` is whatever clock the caller's mode is
-    authoritative for (the event-heap clock in simulation, the wall clock in
-    real-concurrency mode).
-    """
-
-    def __init__(self, plan: QueryPlan, cache_db: CacheDatabase) -> None:
-        self._plan = plan
-        self._cache_db = cache_db
-        self.answers: Set[Row] = set()
-        self.answer_times: Dict[Row, float] = {}
-        self.first_answer_time: Optional[float] = None
-
-    def check(self, now: float) -> List[StreamedAnswer]:
-        """Evaluate over the caches; return the newly derived rows, timestamped."""
-        current = self._plan.rewritten_query.evaluate(self._cache_db.contents())
-        fresh: List[StreamedAnswer] = []
-        for row in current:
-            if row not in self.answer_times:
-                self.answer_times[row] = now
-                fresh.append(StreamedAnswer(row=row, simulated_time=now))
-        self.answers.update(current)
-        if current and self.first_answer_time is None:
-            self.first_answer_time = now
-        return fresh
-
-
-@dataclass
-class _WrapperState:
-    """Scheduling state of one wrapper during the simulation."""
-
-    relation: str
-    latency: float
-    queue: Deque[WorkItem] = field(default_factory=deque)
-    busy_until: float = 0.0
-    accesses: int = 0
-    #: True while the head of the queue has a completion event in the heap.
-    scheduled: bool = False
 
 
 @dataclass
@@ -147,9 +84,14 @@ class DistillationResult:
 
     @property
     def parallel_speedup(self) -> float:
-        """Ratio between sequential and parallel simulated times."""
+        """Ratio between sequential and parallel execution times.
+
+        With degenerate zero-latency sources the makespan can be zero even
+        though sequential work was done: the true ratio is then infinite,
+        not ``1.0``.  Only a run with no work at all reports ``1.0``.
+        """
         if self.total_time <= 0:
-            return 1.0
+            return float("inf") if self.sequential_time > 0 else 1.0
         return self.sequential_time / self.total_time
 
 
@@ -193,7 +135,7 @@ class DistillationExecutor:
             concurrency: ``"simulated"`` (default) runs the deterministic
                 discrete-event simulation; ``"real"`` dispatches the
                 accesses to the source backends over an actual thread pool
-                (:class:`~repro.plan.dispatch.ThreadPoolDispatcher`), so
+                (:class:`~repro.runtime.dispatch.ThreadPoolDispatcher`), so
                 slow backends genuinely overlap.  Both modes compute the
                 same answers; only the clocks differ.
             max_workers: thread-pool size in real mode (ignored otherwise).
@@ -221,12 +163,11 @@ class DistillationExecutor:
         log: Optional[AccessLog] = None,
     ) -> DistillationResult:
         """Run the execution to completion and return the aggregate result."""
-        generator = self._select_run(cache_db=cache_db, log=log)
+        generator = self.stream(cache_db=cache_db, log=log)
         while True:
             try:
                 next(generator)
             except StopIteration as stop:
-                self.last_result = stop.value
                 return stop.value
 
     def stream(
@@ -234,10 +175,10 @@ class DistillationExecutor:
         cache_db: Optional[CacheDatabase] = None,
         log: Optional[AccessLog] = None,
     ) -> Iterator[StreamedAnswer]:
-        """Run the simulation, yielding answers incrementally as they derive.
+        """Run the execution, yielding answers incrementally as they derive.
 
         Every answer tuple is yielded exactly once, timestamped with the
-        simulated clock (Section V: results are paginated to the user as soon
+        run's clock (Section V: results are paginated to the user as soon
         as they are available).  After exhaustion, the aggregate
         :class:`DistillationResult` of this run is available as
         ``self.last_result``.
@@ -249,155 +190,42 @@ class DistillationExecutor:
                 of being dispatched to a wrapper.
             log: an injected access log; a fresh one is created by default.
         """
-        result = yield from self._select_run(cache_db=cache_db, log=log)
-        self.last_result = result
-
-    def _select_run(
-        self,
-        cache_db: Optional[CacheDatabase] = None,
-        log: Optional[AccessLog] = None,
-    ) -> Iterator[StreamedAnswer]:
-        """The generator for the configured concurrency mode."""
-        if self.concurrency == "real":
-            from repro.plan.dispatch import ThreadPoolDispatcher
-
-            dispatcher = ThreadPoolDispatcher(
-                self.plan,
-                self.registry,
-                max_workers=self.max_workers,
-                batch_size=self.queue_capacity,
-                answer_check_interval=self.answer_check_interval,
-                respect_ordering=self.respect_ordering,
-                max_accesses=self.max_accesses,
-            )
-            return dispatcher.run(cache_db=cache_db, log=log)
-        return self._run(cache_db=cache_db, log=log)
-
-    def _run(
-        self,
-        cache_db: Optional[CacheDatabase] = None,
-        log: Optional[AccessLog] = None,
-    ) -> Iterator[StreamedAnswer]:
-        """The simulation core: yields answers, returns the aggregate result.
-
-        All run state is local, so concurrent runs on one executor do not
-        interfere (``last_result`` is only a convenience set by the public
-        wrappers when a run completes).
-        """
         if log is None:
             log = AccessLog()
         if cache_db is None:
             cache_db = CacheDatabase()
-        generators = initialize_plan_caches(self.plan, cache_db)
-
-        wrappers: Dict[str, _WrapperState] = {}
-        for cache in self.plan.caches.values():
-            if cache.is_artificial or cache.relation.name in wrappers:
-                continue
-            latency = self.registry.latency_of(cache.relation.name, self.default_latency)
-            wrappers[cache.relation.name] = _WrapperState(cache.relation.name, latency)
-
-        pending: Dict[str, Deque[WorkItem]] = {name: deque() for name in wrappers}
-        #: Completion events of the in-flight accesses: ``(finish, relation)``.
-        events: List[Tuple[float, str]] = []
-
-        tracker = AnswerTracker(self.plan, cache_db)
-        clock = 0.0
-        sequential_time = 0.0
-        completed_since_check = 0
-        budget_exhausted = False
-
-        def _enqueue(cache: CachePredicate, binding: Tuple[object, ...]) -> None:
-            pending[cache.relation.name].append((cache.name, binding))
-
-        def _held_back(cache: CachePredicate) -> bool:
-            return self.respect_ordering and self._has_earlier_backlog(
-                cache, pending, wrappers
+        if self.concurrency == "real":
+            policy = RealThreadPool(
+                self.plan,
+                cache_db,
+                queue_capacity=self.queue_capacity,
+                respect_ordering=self.respect_ordering,
+                max_workers=self.max_workers,
             )
-
-        def offer_new_work() -> None:
-            offer_until_fixpoint(self.plan, cache_db, generators, _enqueue, _held_back)
-
-        def refill_queues(now: float) -> None:
-            """Move backlog into free queue slots and schedule idle wrappers."""
-            for name, state in wrappers.items():
-                backlog = pending[name]
-                while backlog and len(state.queue) < self.queue_capacity:
-                    state.queue.append(backlog.popleft())
-                if state.queue and not state.scheduled:
-                    start = max(state.busy_until, now)
-                    state.scheduled = True
-                    heapq.heappush(events, (start + state.latency, name))
-
-        offer_new_work()
-        refill_queues(clock)
-
-        while events:
-            finish, relation = heapq.heappop(events)
-            state = wrappers[relation]
-            state.scheduled = False
-            if finish < clock:
-                raise AssertionError(
-                    f"simulated clock would move backwards ({finish:.6f} < {clock:.6f}); "
-                    "the event heap violated monotonicity"
-                )
-            clock = finish
-            if self.max_accesses is not None and log.total_accesses >= self.max_accesses:
-                # Budget reached: stop dispatching, keep everything derived
-                # so far; the final answer check below timestamps the rest.
-                budget_exhausted = True
-                break
-            cache_name, binding = state.queue.popleft()
-            cache = self.plan.caches[cache_name]
-
-            # The heap clock is the authoritative one: the access record is
-            # stamped with this event's finish time, not any wrapper-local
-            # count-times-latency approximation.
-            rows = self.registry.access(
-                cache.relation.name, binding, log, simulated_time=finish
+        else:
+            policy = SimulatedParallel(
+                self.plan,
+                cache_db,
+                default_latency=self.default_latency,
+                queue_capacity=self.queue_capacity,
+                respect_ordering=self.respect_ordering,
             )
-            state.accesses += 1
-            state.busy_until = finish
-            sequential_time += state.latency
-            meta = cache_db.meta_cache(cache.relation)
-            meta.record(binding, rows)
-            cache_db.cache(cache.name).add_all(rows)
-
-            completed_since_check += 1
-            if rows and completed_since_check >= self.answer_check_interval:
-                completed_since_check = 0
-                for streamed in tracker.check(finish):
-                    yield streamed
-
-            offer_new_work()
-            refill_queues(clock)
-
-        total_time = max((state.busy_until for state in wrappers.values()), default=0.0)
-        for streamed in tracker.check(total_time):
-            yield streamed
-        return DistillationResult(
-            answers=frozenset(tracker.answers),
-            access_log=log,
-            time_to_first_answer=tracker.first_answer_time,
-            answer_times=tracker.answer_times,
-            total_time=total_time,
-            sequential_time=sequential_time,
-            budget_exhausted=budget_exhausted,
+        kernel = FixpointKernel(
+            policy,
+            self.registry,
+            log,
+            max_accesses=self.max_accesses,
+            answer_check_interval=self.answer_check_interval,
         )
-
-    # ------------------------------------------------------------------------------
-    def _has_earlier_backlog(
-        self,
-        cache: CachePredicate,
-        pending: Mapping[str, Deque[WorkItem]],
-        wrappers: Mapping[str, _WrapperState],
-    ) -> bool:
-        """True when a cache of a smaller position still has queued work."""
-        for other in self.plan.caches.values():
-            if other.is_artificial or other.position >= cache.position:
-                continue
-            if other.relation.name in wrappers and (
-                pending[other.relation.name] or wrappers[other.relation.name].queue
-            ):
-                return True
-        return False
+        outcome = yield from kernel.stream()
+        result = DistillationResult(
+            answers=outcome.answers,
+            access_log=log,
+            total_time=outcome.total_time,
+            time_to_first_answer=outcome.first_answer_time,
+            answer_times=outcome.answer_times,
+            sequential_time=outcome.sequential_time,
+            budget_exhausted=outcome.budget_exhausted,
+        )
+        self.last_result = result
+        return result

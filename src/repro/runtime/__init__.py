@@ -1,0 +1,70 @@
+"""The shared fixpoint runtime: one kernel, pluggable policies and dispatchers.
+
+The paper's three evaluation methods — naive extraction (Figure 1), the
+fast-failing minimal-plan execution (Section IV) and parallel distillation
+(Section V) — are one algorithm: iterate cache rules to a least fixpoint
+under access limitations.  They differ only in *what* is dispatched *when*.
+This package is that one algorithm, factored once:
+
+* :class:`~repro.runtime.kernel.FixpointKernel` — the event-driven fixpoint
+  loop.  It owns offer-pass iteration, budget accounting, the monotone
+  clock, and incremental answer tracking/streaming.
+* :class:`~repro.runtime.policy.SchedulingPolicy` — what to dispatch:
+  :class:`~repro.runtime.policy.EagerAllRelations` (naive),
+  :class:`~repro.runtime.policy.OrderedFastFail` (fast-failing),
+  :class:`~repro.runtime.policy.SimulatedParallel` /
+  :class:`~repro.runtime.policy.RealThreadPool` (distillation).
+* :class:`~repro.runtime.dispatch.Dispatcher` — when/how accesses run:
+  :class:`~repro.runtime.dispatch.SequentialDispatcher` (one at a time on a
+  cumulative simulated clock),
+  :class:`~repro.runtime.dispatch.SimulatedParallelDispatcher` (the
+  deterministic discrete-event simulation on a completion-event heap) and
+  :class:`~repro.runtime.dispatch.ThreadPoolDispatcher` (real concurrent
+  accesses against the backends).
+
+The modules under :mod:`repro.plan` (``naive``, ``execution``,
+``parallel``) are thin adapters: they pick a policy, run the kernel, and
+shape its outcome into their historical result types.
+"""
+
+from repro.runtime.dispatch import (
+    Dispatcher,
+    SequentialDispatcher,
+    SimulatedParallelDispatcher,
+    ThreadPoolDispatcher,
+)
+from repro.runtime.kernel import (
+    AccessBudget,
+    AccessRequest,
+    AnswerTracker,
+    Completion,
+    FixpointKernel,
+    KernelOutcome,
+    StreamedAnswer,
+)
+from repro.runtime.policy import (
+    EagerAllRelations,
+    OrderedFastFail,
+    RealThreadPool,
+    SchedulingPolicy,
+    SimulatedParallel,
+)
+
+__all__ = [
+    "AccessBudget",
+    "AccessRequest",
+    "AnswerTracker",
+    "Completion",
+    "Dispatcher",
+    "EagerAllRelations",
+    "FixpointKernel",
+    "KernelOutcome",
+    "OrderedFastFail",
+    "RealThreadPool",
+    "SchedulingPolicy",
+    "SequentialDispatcher",
+    "SimulatedParallel",
+    "SimulatedParallelDispatcher",
+    "StreamedAnswer",
+    "ThreadPoolDispatcher",
+]

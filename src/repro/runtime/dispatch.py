@@ -1,0 +1,456 @@
+"""Pluggable dispatchers: when accesses run, and on which clock.
+
+A dispatcher receives :class:`~repro.runtime.kernel.AccessRequest` work
+units from the kernel's offer passes and turns them into
+:class:`~repro.runtime.kernel.Completion` events, stamped with the clock it
+is authoritative for:
+
+* :class:`SequentialDispatcher` — one access at a time, back to back; the
+  clock is the cumulative latency of the accesses made so far (the naive
+  and fast-failing strategies);
+* :class:`SimulatedParallelDispatcher` — the paper's distillation model as
+  a deterministic discrete-event simulation: every wrapper processes its
+  FIFO queue sequentially, wrappers run concurrently, and the clock is a
+  heap of ``(finish_time, relation)`` completion events;
+* :class:`ThreadPoolDispatcher` — the production counterpart: accesses
+  really run, batched per source on a thread pool, stamped with the wall
+  clock relative to the start of the run.
+
+Before touching a source, every dispatcher offers the access to the
+policy's *gate* — the per-relation session meta-cache.  A recorded binding
+is served locally (``Completion.counted=False``); an unrecorded one is
+*claimed*, so that two concurrent executions sharing a session never
+perform the same access twice: the second claimant blocks until the first
+fulfils the claim and then reads the rows for free.  All cache mutation
+stays on the kernel's thread — worker threads only claim, read backends,
+and fulfil.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.runtime.kernel import AccessBudget, AccessRequest, Completion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.policy import SchedulingPolicy
+    from repro.sources.cache import MetaCache
+    from repro.sources.log import AccessLog
+    from repro.sources.wrapper import SourceRegistry, SourceWrapper
+
+Row = Tuple[object, ...]
+
+
+class Dispatcher(abc.ABC):
+    """The execution side of the kernel: turns requests into completions."""
+
+    def __init__(self, registry: "SourceRegistry", log: "AccessLog", budget: AccessBudget) -> None:
+        self.registry = registry
+        self.log = log
+        self.budget = budget
+        #: The policy whose gate/dedup settings govern this run (bound by
+        #: the kernel right after construction).
+        self.gate: Optional["SchedulingPolicy"] = None
+        #: Cumulative cost of the performed accesses run back to back.
+        self.sequential_time = 0.0
+
+    # -- kernel interface -----------------------------------------------------
+    @abc.abstractmethod
+    def submit(self, request: AccessRequest) -> None:
+        """Queue one unit of work."""
+
+    def refill(self, now: float) -> None:
+        """Move queued work into execution slots (no-op by default)."""
+
+    @abc.abstractmethod
+    def has_work(self) -> bool:
+        """True while anything is queued or in flight."""
+
+    @abc.abstractmethod
+    def step(self) -> Optional[List[Completion]]:
+        """Advance until at least one completion (or nothing can run).
+
+        Returns the completions of this step, ``[]`` when there was nothing
+        to do, or ``None`` when work remains that the access budget refuses
+        to fund — the kernel decides whether that raises or ends the run.
+        """
+
+    @abc.abstractmethod
+    def total_time(self) -> float:
+        """The dispatcher's clock at the end of the run."""
+
+    def relation_active(self, relation: str) -> bool:
+        """True while the relation has queued or in-flight work (used by
+        ``respect_ordering`` gating)."""
+        return False
+
+    def close(self) -> None:
+        """Release execution resources (thread pools); idempotent."""
+
+    # -- shared access path ----------------------------------------------------
+    def _acquire_rows(
+        self,
+        request: AccessRequest,
+        wrapper: "SourceWrapper",
+        charge_budget: bool = True,
+    ) -> Optional[Tuple[FrozenSet[Row], bool, float]]:
+        """The claim protocol, implemented once for every dispatcher.
+
+        Claim the binding on the session gate (a recorded or concurrently
+        in-flight access is served locally), charge the budget, read the
+        backend, and record the result on the meta-cache — abandoning the
+        claim on every failure path so waiters are never stranded.
+
+        Returns ``(rows, counted, read_seconds)`` where ``counted`` is
+        False for a gate-served hit and ``read_seconds`` times only the
+        backend read (zero for hits — claim waits are not backend work);
+        returns ``None`` when the budget denied the access.
+        """
+        assert self.gate is not None, "dispatcher used before bind_dispatcher"
+        meta = self.gate.meta_for(request.relation)
+        owns_claim = False
+        if meta is not None and self.gate.dedup_accesses:
+            served = meta.claim(request.binding)
+            if served is not None:
+                return served, False, 0.0
+            owns_claim = True
+        if charge_budget and self.budget.grant(1) < 1:
+            if owns_claim:
+                meta.abandon(request.binding)
+            return None
+        read_started = time.perf_counter()
+        try:
+            rows = wrapper.lookup(request.binding)
+        except BaseException:
+            if owns_claim:
+                meta.abandon(request.binding)
+            raise
+        read_seconds = time.perf_counter() - read_started
+        if meta is not None:
+            meta.record(request.binding, rows)
+        return rows, True, read_seconds
+
+    def _recorded_rows(self, request: AccessRequest) -> Optional[FrozenSet[Row]]:
+        """Non-claiming gate probe: the rows when the binding is already
+        recorded (counted as a hit), else None."""
+        if self.gate is None or not self.gate.dedup_accesses:
+            return None
+        meta = self.gate.meta_for(request.relation)
+        if meta is None:
+            return None
+        return meta.lookup(request.binding)
+
+
+class SequentialDispatcher(Dispatcher):
+    """One access at a time on a cumulative simulated clock.
+
+    Accesses run back to back, so the authoritative clock is the cumulative
+    latency of the accesses made so far; every access record is stamped
+    with it (per-wrapper clocks would diverge as soon as two relations
+    interleave).
+    """
+
+    def __init__(
+        self,
+        registry: "SourceRegistry",
+        log: "AccessLog",
+        budget: AccessBudget,
+        default_latency: float = 0.0,
+    ) -> None:
+        super().__init__(registry, log, budget)
+        self.default_latency = default_latency
+        self._queue: Deque[AccessRequest] = deque()
+        self.clock = 0.0
+
+    def submit(self, request: AccessRequest) -> None:
+        self._queue.append(request)
+
+    def has_work(self) -> bool:
+        return bool(self._queue)
+
+    def step(self) -> Optional[List[Completion]]:
+        """Drain the whole queue back to back.
+
+        One step performs every queued access (the offered bindings of the
+        phase's latest delta pass): the kernel then absorbs the batch and
+        offers again, so the per-access cost stays one claim + one read,
+        not one full offer pass.  On budget denial, the completions made
+        so far are returned first; the next step finds the surviving head
+        denied again with nothing done and reports the stall.
+        """
+        if not self._queue:
+            return []
+        completions: List[Completion] = []
+        while self._queue:
+            request = self._queue[0]
+            wrapper = self.registry.wrapper(request.relation)
+            outcome = self._acquire_rows(request, wrapper)
+            if outcome is None:
+                return completions if completions else None
+            self._queue.popleft()
+            rows, counted, _ = outcome
+            if not counted:
+                completions.append(Completion(request, rows, self.clock, counted=False))
+                continue
+            latency = self.registry.latency_of(request.relation, self.default_latency)
+            finish = self.clock + latency
+            wrapper.record_access(request.binding, rows, self.log, simulated_time=finish)
+            self.clock = finish
+            self.sequential_time += latency
+            completions.append(Completion(request, rows, finish, counted=True))
+        return completions
+
+    def total_time(self) -> float:
+        return self.clock
+
+
+@dataclass
+class _WrapperState:
+    """Scheduling state of one wrapper during the simulation."""
+
+    relation: str
+    latency: float
+    queue: Deque[AccessRequest] = field(default_factory=deque)
+    busy_until: float = 0.0
+    #: True while the head of the queue has a completion event in the heap.
+    scheduled: bool = False
+
+
+class SimulatedParallelDispatcher(Dispatcher):
+    """The deterministic discrete-event simulation of parallel wrappers.
+
+    Every wrapper processes its FIFO queue sequentially, each access taking
+    the wrapper's latency, and wrappers run concurrently on the simulated
+    clock.  The earliest-finishing in-flight access is popped from the
+    event heap in O(log w); the clock is the finish time of the last
+    completed access and the kernel asserts it never decreases (answers can
+    never be timestamped before the accesses that derived them).
+    """
+
+    def __init__(
+        self,
+        registry: "SourceRegistry",
+        log: "AccessLog",
+        budget: AccessBudget,
+        relations: Iterable[str],
+        default_latency: float = 0.01,
+        queue_capacity: int = 64,
+    ) -> None:
+        super().__init__(registry, log, budget)
+        self.queue_capacity = max(1, queue_capacity)
+        self._wrappers: Dict[str, _WrapperState] = {}
+        for name in relations:
+            if name in self._wrappers:
+                continue
+            latency = registry.latency_of(name, default_latency)
+            self._wrappers[name] = _WrapperState(name, latency)
+        #: Unbounded per-relation backlog feeding the bounded wrapper queues.
+        self._pending: Dict[str, Deque[AccessRequest]] = {
+            name: deque() for name in self._wrappers
+        }
+        #: Completion events of the in-flight accesses: ``(finish, relation)``.
+        self._events: List[Tuple[float, str]] = []
+        #: Completions resolved without wrapper work (meta-cache hits found
+        #: at schedule time), delivered by the next :meth:`step`.
+        self._ready: List[Completion] = []
+
+    def submit(self, request: AccessRequest) -> None:
+        self._pending[request.relation].append(request)
+
+    def refill(self, now: float) -> None:
+        """Move backlog into free queue slots and schedule idle wrappers.
+
+        A queue head whose binding is already recorded on the meta-cache
+        (e.g. the same access enabled by two cache occurrences, the first
+        of which has completed) is resolved here, *before* a completion
+        event is scheduled for it: a served hit costs no wrapper time, so
+        it must never occupy a latency slot of the simulation.
+        """
+        for name, state in self._wrappers.items():
+            backlog = self._pending[name]
+            while True:
+                while backlog and len(state.queue) < self.queue_capacity:
+                    state.queue.append(backlog.popleft())
+                if not state.queue or state.scheduled:
+                    break
+                rows = self._recorded_rows(state.queue[0])
+                if rows is None:
+                    start = max(state.busy_until, now)
+                    state.scheduled = True
+                    heapq.heappush(self._events, (start + state.latency, name))
+                    break
+                request = state.queue.popleft()
+                self._ready.append(Completion(request, rows, now, counted=False))
+
+    def has_work(self) -> bool:
+        return bool(self._ready) or bool(self._events) or any(
+            state.queue for state in self._wrappers.values()
+        ) or any(self._pending.values())
+
+    def relation_active(self, relation: str) -> bool:
+        state = self._wrappers.get(relation)
+        return bool(
+            (state is not None and state.queue) or self._pending.get(relation)
+        )
+
+    def step(self) -> Optional[List[Completion]]:
+        if self._ready:
+            ready, self._ready = self._ready, []
+            return ready
+        if not self._events:
+            return []
+        finish, relation = heapq.heappop(self._events)
+        state = self._wrappers[relation]
+        state.scheduled = False
+        request = state.queue[0]
+        wrapper = self.registry.wrapper(relation)
+        outcome = self._acquire_rows(request, wrapper)
+        if outcome is None:
+            return None
+        state.queue.popleft()
+        rows, counted, _ = outcome
+        if not counted:
+            # A concurrent execution recorded the binding between schedule
+            # and completion: the rows are served, the wrapper's busy time
+            # and the budget stay untouched.
+            return [Completion(request, rows, finish, counted=False)]
+        # The heap clock is the authoritative one: the record is stamped
+        # with this event's finish time, not count × latency.
+        wrapper.record_access(request.binding, rows, self.log, simulated_time=finish)
+        state.busy_until = finish
+        self.sequential_time += state.latency
+        return [Completion(request, rows, finish, counted=True)]
+
+    def total_time(self) -> float:
+        return max(
+            (state.busy_until for state in self._wrappers.values()), default=0.0
+        )
+
+
+class ThreadPoolDispatcher(Dispatcher):
+    """Real parallel accesses against the source backends.
+
+    Division of labour: **worker threads** only claim bindings on the
+    session gate and perform pure backend reads
+    (:meth:`~repro.sources.wrapper.SourceWrapper.lookup`) — each binding is
+    claimed, read and fulfilled individually, so a claim is never held
+    while waiting on another (no deadlock between concurrent sessions).
+    The **coordinator** (the kernel's thread) counts and logs the performed
+    accesses, stamping records with the wall clock relative to the start of
+    the run — the authoritative clock of a real execution — and absorbs the
+    rows into the caches.  One batch per source is in flight at a time,
+    mirroring the paper's sequential-per-wrapper model while sources
+    overlap freely with each other.
+    """
+
+    def __init__(
+        self,
+        registry: "SourceRegistry",
+        log: "AccessLog",
+        budget: AccessBudget,
+        relations: Iterable[str],
+        max_workers: int = 8,
+        batch_size: int = 64,
+    ) -> None:
+        super().__init__(registry, log, budget)
+        self.max_workers = max(1, max_workers)
+        self.batch_size = max(1, batch_size)
+        self._backlog: Dict[str, Deque[AccessRequest]] = {}
+        for name in relations:
+            self._backlog.setdefault(name, deque())
+        #: Relations with a batch currently in flight (at most one each).
+        self._busy: Set[str] = set()
+        self._inflight: Dict[Future, str] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------------------
+    def submit(self, request: AccessRequest) -> None:
+        self._backlog[request.relation].append(request)
+
+    def refill(self, now: float) -> None:
+        """Ship one backlog batch per idle source, within the budget."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            self._started = time.perf_counter()
+        for name, items in self._backlog.items():
+            if not items or name in self._busy:
+                continue
+            allowance = self.budget.grant(min(self.batch_size, len(items)))
+            if allowance <= 0:
+                continue
+            batch = [items.popleft() for _ in range(allowance)]
+            wrapper = self.registry.wrapper(name)
+            future = self._pool.submit(self._perform_batch, wrapper, batch)
+            self._inflight[future] = name
+            self._busy.add(name)
+
+    def has_work(self) -> bool:
+        return bool(self._inflight) or any(self._backlog.values())
+
+    def relation_active(self, relation: str) -> bool:
+        return bool(self._backlog.get(relation)) or relation in self._busy
+
+    def step(self) -> Optional[List[Completion]]:
+        if not self._inflight:
+            # Work remains but nothing is in flight: only an exhausted
+            # budget can leave the backlog stranded after a refill.
+            return None if any(self._backlog.values()) else []
+        done, _ = wait(set(self._inflight), return_when=FIRST_COMPLETED)
+        now = time.perf_counter() - self._started
+        completions: List[Completion] = []
+        for future in done:
+            name = self._inflight.pop(future)
+            self._busy.discard(name)
+            outcomes, duration = future.result()
+            self.sequential_time += duration
+            wrapper = self.registry.wrapper(name)
+            for request, rows, counted in outcomes:
+                if counted:
+                    wrapper.record_access(
+                        request.binding, rows, self.log, simulated_time=now
+                    )
+                else:
+                    # Served by the gate without touching the source: give
+                    # the unused budget reservation back.
+                    self.budget.refund(1)
+                completions.append(Completion(request, rows, now, counted=counted))
+        return completions
+
+    def total_time(self) -> float:
+        return time.perf_counter() - self._started
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------------------
+    def _perform_batch(
+        self, wrapper: "SourceWrapper", batch: List[AccessRequest]
+    ) -> Tuple[List[Tuple[AccessRequest, FrozenSet[Row], bool]], float]:
+        """Worker-thread body: claim, read and fulfil each binding in turn.
+
+        Bindings are handled one at a time (not via ``lookup_many``) so the
+        session gate can dedup each against concurrent executions; a claim
+        is fulfilled immediately after its read, never held across another
+        claim.  Only the backend reads are timed — time spent waiting out
+        another execution's in-flight claim is not sequential work and must
+        not inflate ``sequential_time`` (nor the reported speedup).
+        """
+        outcomes: List[Tuple[AccessRequest, FrozenSet[Row], bool]] = []
+        read_seconds = 0.0
+        for request in batch:
+            # The budget was charged for the whole batch at submit time.
+            rows, counted, seconds = self._acquire_rows(
+                request, wrapper, charge_budget=False
+            )
+            read_seconds += seconds
+            outcomes.append((request, rows, counted))
+        return outcomes, read_seconds

@@ -1,0 +1,324 @@
+"""The fixpoint runtime kernel shared by every execution strategy.
+
+All three evaluation methods of the paper compute the least fixpoint of the
+same process: *offer* every access tuple newly enabled by the values in the
+caches, *dispatch* the offered accesses to the sources, *absorb* the
+retrieved rows back into the caches (enabling further accesses), and stop
+when nothing new can be offered.  :class:`FixpointKernel` is that loop,
+written once.  Two collaborators parameterize it:
+
+* a :class:`~repro.runtime.policy.SchedulingPolicy` decides *what* is
+  offered (which relations/caches, in which phase, gated how) and how rows
+  are absorbed;
+* a :class:`~repro.runtime.dispatch.Dispatcher` decides *when* accesses run
+  and on which clock (back-to-back simulated, discrete-event simulated
+  parallel, or a real thread pool).
+
+The kernel itself owns the pieces every mode shares: the offer-pass
+fixpoint iteration, access-budget accounting (:class:`AccessBudget`), the
+monotone completion clock (an execution can never absorb a completion
+timestamped before one it already absorbed), and incremental answer
+tracking/streaming (:class:`AnswerTracker`, Section V's result
+pagination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.exceptions import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.policy import SchedulingPolicy
+    from repro.sources.log import AccessLog
+    from repro.sources.wrapper import SourceRegistry
+
+Row = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """One unit of dispatchable work: access ``relation`` with ``binding``.
+
+    ``target`` names the structure the rows are destined for — a cache
+    predicate for the plan-driven policies, the relation itself for the
+    naive policy.  The kernel treats it as opaque; only the policy's
+    ``absorb`` interprets it.
+    """
+
+    target: str
+    relation: str
+    binding: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One finished access, stamped with the dispatcher's authoritative clock.
+
+    ``counted`` is False when the rows were served without touching the
+    source (the session meta-cache answered the binding, possibly after
+    waiting out another session's in-flight access): such completions still
+    feed the caches but are not logged, charged to the budget, or timed.
+    """
+
+    request: AccessRequest
+    rows: FrozenSet[Row]
+    finish_time: float
+    counted: bool = True
+
+
+@dataclass(frozen=True)
+class StreamedAnswer:
+    """One incremental answer produced by a streaming execution.
+
+    Attributes:
+        row: the answer tuple.
+        simulated_time: the execution's clock at which the tuple became
+            derivable (at the granularity of the answer-check interval).
+    """
+
+    row: Row
+    simulated_time: float
+
+
+class AnswerTracker:
+    """Incremental answer bookkeeping shared by every kernel run.
+
+    Evaluates the policy's query on demand, remembers every answer's first
+    derivation time, and reports which rows are new — the rows to stream.
+    ``now`` is whatever clock the run's dispatcher is authoritative for
+    (the event-heap clock in simulation, the wall clock in real-concurrency
+    mode, the cumulative latency sum in sequential runs).
+    """
+
+    def __init__(self, evaluate: Callable[[], FrozenSet[Row]]) -> None:
+        self._evaluate = evaluate
+        self.answers: Set[Row] = set()
+        self.answer_times: Dict[Row, float] = {}
+        self.first_answer_time: Optional[float] = None
+
+    def check(self, now: float) -> List[StreamedAnswer]:
+        """Evaluate the query; return the newly derived rows, timestamped."""
+        current = self._evaluate()
+        fresh: List[StreamedAnswer] = []
+        for row in current:
+            if row not in self.answer_times:
+                self.answer_times[row] = now
+                fresh.append(StreamedAnswer(row=row, simulated_time=now))
+        self.answers.update(current)
+        if current and self.first_answer_time is None:
+            self.first_answer_time = now
+        return fresh
+
+
+class AccessBudget:
+    """Kernel-owned accounting of the ``max_accesses`` bound.
+
+    Every source access must be granted before it runs (sequential and
+    simulated dispatchers ask for one access at a time; the thread-pool
+    dispatcher reserves whole batches at submit time).  The budget flags
+    ``denied`` only when a request could not be granted *at all* — a
+    partially filled batch is not a denial until the remainder is asked for
+    again — which is exactly when an execution has work left it may not
+    perform.
+    """
+
+    def __init__(self, limit: Optional[int]) -> None:
+        self.limit = limit
+        self.granted = 0
+        self.denied = False
+
+    def grant(self, want: int = 1) -> int:
+        """Reserve up to ``want`` accesses; returns how many were granted."""
+        if want <= 0:
+            return 0
+        if self.limit is None:
+            return want
+        allowance = min(want, self.limit - self.granted)
+        if allowance <= 0:
+            self.denied = True
+            return 0
+        self.granted += allowance
+        return allowance
+
+    def refund(self, count: int = 1) -> None:
+        """Return unused grants (an access served locally after reservation)."""
+        if self.limit is not None:
+            self.granted = max(0, self.granted - count)
+
+
+@dataclass
+class KernelOutcome:
+    """Aggregate outcome of one kernel run, shaped by the strategy adapters.
+
+    Attributes:
+        answers: the answers derived (all of them, or the ones derived so
+            far when the budget stopped the run).
+        answer_times: clock time at which each answer first derived.
+        first_answer_time: clock time of the first answer (None when empty).
+        total_time: the dispatcher's clock when the run finished (simulated
+            makespan, or wall-clock duration in real mode).
+        sequential_time: what the run would have cost with every access
+            back to back (sum of per-access latencies / batch durations).
+        budget_exhausted: True when ``max_accesses`` stopped the dispatch
+            loop before the fixpoint was reached.
+    """
+
+    answers: FrozenSet[Row]
+    answer_times: Dict[Row, float] = field(default_factory=dict)
+    first_answer_time: Optional[float] = None
+    total_time: float = 0.0
+    sequential_time: float = 0.0
+    budget_exhausted: bool = False
+
+
+class FixpointKernel:
+    """The one event-driven fixpoint loop behind all execution strategies.
+
+    The kernel iterates phases (most policies have one; the fast-failing
+    policy has one per ordering position).  Within a phase it alternates
+    offer passes — the policy enumerates newly enabled accesses, serving
+    session meta-cache hits locally — with dispatcher steps, absorbing each
+    completion through the policy so new values immediately enable further
+    offers.  A phase ends when the policy has nothing left to offer and the
+    dispatcher is drained; the run ends when the policy declines to start
+    another phase, or the access budget runs dry.
+    """
+
+    def __init__(
+        self,
+        policy: "SchedulingPolicy",
+        registry: "SourceRegistry",
+        log: "AccessLog",
+        max_accesses: Optional[int] = None,
+        answer_check_interval: Optional[int] = None,
+    ) -> None:
+        """Wire a kernel run.
+
+        Args:
+            policy: the scheduling policy (owns the run's cache state).
+            registry: the source wrappers accesses are dispatched to.
+            log: the access log counted accesses are recorded in.
+            max_accesses: optional bound on the number of source accesses.
+            answer_check_interval: completed accesses between incremental
+                answer checks; ``None`` disables intermediate checks (the
+                query is still evaluated once at the end), which is what
+                the non-streaming strategies use.
+        """
+        self.policy = policy
+        self.registry = registry
+        self.log = log
+        self.budget = AccessBudget(max_accesses)
+        self.answer_check_interval = answer_check_interval
+        self.dispatcher = policy.make_dispatcher(registry, log, self.budget)
+        policy.bind_dispatcher(self.dispatcher)
+        self.tracker = AnswerTracker(policy.evaluate)
+        #: The kernel's monotone clock: the latest completion absorbed.
+        self.clock = 0.0
+
+    # ------------------------------------------------------------------------------
+    def run(self) -> KernelOutcome:
+        """Run to completion, discarding the incremental answer stream."""
+        generator = self.stream()
+        while True:
+            try:
+                next(generator)
+            except StopIteration as stop:
+                return stop.value
+
+    def stream(self) -> Iterator[StreamedAnswer]:
+        """Run the fixpoint loop, yielding answers as they become derivable.
+
+        Returns (as the generator's ``StopIteration`` value) the
+        :class:`KernelOutcome` of the run.
+        """
+        try:
+            outcome = yield from self._loop()
+        finally:
+            self.dispatcher.close()
+        return outcome
+
+    # ------------------------------------------------------------------------------
+    def _loop(self) -> Iterator[StreamedAnswer]:
+        completed_since_check = 0
+        budget_exhausted = False
+
+        more_phases = self.policy.begin()
+        while more_phases and not budget_exhausted:
+            while True:
+                self._offer_fixpoint()
+                self.dispatcher.refill(self.clock)
+                if not self.dispatcher.has_work():
+                    break
+                batch = self.dispatcher.step()
+                if batch is None:
+                    # The dispatcher has work it may not perform: the access
+                    # budget ran dry.  Sequential strategies raise; the
+                    # distillation strategies stop and keep what they have.
+                    if self.policy.budget_action == "raise":
+                        raise ExecutionError(self.policy.budget_message())
+                    budget_exhausted = True
+                    break
+                if not batch:
+                    continue
+                batch_had_rows = False
+                for completion in batch:
+                    self._absorb(completion)
+                    completed_since_check += 1
+                    if completion.rows:
+                        batch_had_rows = True
+                if (
+                    self.answer_check_interval is not None
+                    and batch_had_rows
+                    and completed_since_check >= self.answer_check_interval
+                ):
+                    completed_since_check = 0
+                    for streamed in self.tracker.check(self.clock):
+                        yield streamed
+            if not budget_exhausted:
+                more_phases = self.policy.advance()
+
+        total_time = self.dispatcher.total_time()
+        for streamed in self.tracker.check(total_time):
+            yield streamed
+        return KernelOutcome(
+            answers=frozenset(self.tracker.answers),
+            answer_times=self.tracker.answer_times,
+            first_answer_time=self.tracker.first_answer_time,
+            total_time=total_time,
+            sequential_time=self.dispatcher.sequential_time,
+            budget_exhausted=budget_exhausted,
+        )
+
+    def _offer_fixpoint(self) -> None:
+        """Offer every enabled access, to a fixpoint.
+
+        Rows served from the (possibly session-shared) meta-caches can
+        transitively enable further bindings without any source access, so
+        one pass is not enough: iterate until nothing new is offered or
+        served locally.
+        """
+        while self.policy.offer(self.dispatcher.submit):
+            pass
+
+    def _absorb(self, completion: Completion) -> None:
+        """Fold one completion into the policy state, enforcing the clock."""
+        if completion.finish_time < self.clock - 1e-12:
+            raise AssertionError(
+                f"simulated clock would move backwards "
+                f"({completion.finish_time:.6f} < {self.clock:.6f}); "
+                "the dispatcher violated monotonicity"
+            )
+        self.clock = max(self.clock, completion.finish_time)
+        self.policy.absorb(completion)

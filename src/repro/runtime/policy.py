@@ -1,0 +1,453 @@
+"""Pluggable scheduling policies: what is offered to the dispatcher, when.
+
+A policy owns the run's cache state and tells the
+:class:`~repro.runtime.kernel.FixpointKernel` which accesses are newly
+enabled at every offer pass.  The three strategies of the paper are three
+policies over the same kernel:
+
+* :class:`EagerAllRelations` — the naive baseline of Figure 1: every
+  relation of the schema is offered every binding drawn from the value
+  pool ``B``, relevance and meta-caches be damned;
+* :class:`OrderedFastFail` — Section IV: one phase per ordering position
+  of the ⊂-minimal plan, with the early non-emptiness test between phases
+  and meta-cache dedup of repeated accesses;
+* :class:`SimulatedParallel` / :class:`RealThreadPool` — Section V: every
+  cache of the plan is offered eagerly, and the policy picks the
+  discrete-event simulation or the real thread pool as its dispatcher.
+
+The plan-driven policies share the delta-driven binding generators of
+:mod:`repro.plan.bindings`: each offer pass enumerates only the bindings
+enabled by values that arrived since the previous pass, so a pass costs
+time proportional to the *new* values, not the full provider cross
+product.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.plan.bindings import CacheBindingGenerator, DeltaProduct, initialize_plan_caches
+from repro.runtime.dispatch import (
+    Dispatcher,
+    SequentialDispatcher,
+    SimulatedParallelDispatcher,
+    ThreadPoolDispatcher,
+)
+from repro.runtime.kernel import AccessBudget, AccessRequest, Completion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.domains import AbstractDomain
+    from repro.model.schema import RelationSchema, Schema
+    from repro.plan.plan import CachePredicate, QueryPlan
+    from repro.query.conjunctive import ConjunctiveQuery
+    from repro.sources.cache import CacheDatabase, MetaCache
+    from repro.sources.log import AccessLog
+    from repro.sources.wrapper import SourceRegistry
+
+Row = Tuple[object, ...]
+
+#: Emit callback handed to :meth:`SchedulingPolicy.offer`.
+Emit = Callable[[AccessRequest], None]
+
+
+class SchedulingPolicy(abc.ABC):
+    """One way of deciding what the kernel dispatches, phase by phase."""
+
+    #: What the kernel does when the access budget refuses work that is
+    #: still pending: ``"raise"`` (sequential strategies) or ``"stop"``
+    #: (distillation keeps the answers derived so far).
+    budget_action: str = "stop"
+
+    #: When True, dispatchers *claim* each binding on the relation's
+    #: meta-cache before touching the source, so an access already made —
+    #: or in flight on behalf of a concurrent execution of the session —
+    #: is served locally instead of repeated.
+    dedup_accesses: bool = True
+
+    def bind_dispatcher(self, dispatcher: Dispatcher) -> None:
+        """Called by the kernel once the dispatcher exists (for gating)."""
+        self.dispatcher = dispatcher
+        dispatcher.gate = self
+
+    @abc.abstractmethod
+    def make_dispatcher(
+        self, registry: "SourceRegistry", log: "AccessLog", budget: AccessBudget
+    ) -> Dispatcher:
+        """Build the dispatcher this policy runs on."""
+
+    def begin(self) -> bool:
+        """Enter the first phase; False aborts before any work."""
+        return True
+
+    def advance(self) -> bool:
+        """Enter the next phase; False ends the run."""
+        return False
+
+    @abc.abstractmethod
+    def offer(self, emit: Emit) -> bool:
+        """One offer pass: emit the newly enabled accesses of the phase.
+
+        Accesses answerable from the session meta-cache are served locally
+        instead of emitted; returns True when such local serving changed
+        the cache state (enqueued work cannot enable further bindings, so
+        it does not count), in which case the kernel offers again.
+        """
+
+    @abc.abstractmethod
+    def absorb(self, completion: Completion) -> None:
+        """Fold one completion's rows into the policy's cache state."""
+
+    @abc.abstractmethod
+    def evaluate(self) -> FrozenSet[Row]:
+        """The query's answers over the current cache state."""
+
+    def meta_for(self, relation: str) -> Optional["MetaCache"]:
+        """The meta-cache accesses of ``relation`` are recorded in (None
+        disables both recording and dedup for the relation)."""
+        return None
+
+    def budget_message(self) -> str:
+        return "execution exceeded the access budget"
+
+
+# ------------------------------------------------------------------------------
+class _ValuePool:
+    """The naive pool ``B``: per-domain membership sets plus value logs."""
+
+    def __init__(self) -> None:
+        self.sets: Dict["AbstractDomain", Set[object]] = {}
+        self._logs: Dict["AbstractDomain", List[object]] = {}
+
+    def log(self, domain_: "AbstractDomain") -> List[object]:
+        """The live, append-only log of one domain (created on first use)."""
+        return self._logs.setdefault(domain_, [])
+
+    def add(self, domain_: "AbstractDomain", value: object) -> bool:
+        values = self.sets.setdefault(domain_, set())
+        if value in values:
+            return False
+        values.add(value)
+        self.log(domain_).append(value)
+        return True
+
+
+class EagerAllRelations(SchedulingPolicy):
+    """The naive all-relations extraction of Figure 1.
+
+    Offers every relation of the schema every binding drawn from the value
+    pool ``B`` (per abstract domain), pours every retrieved value back into
+    the pool, and finally evaluates the query over the per-relation cache.
+    Deliberately ignores relevance and the session meta-caches: it
+    reproduces the paper's baseline, which is what the benchmarks compare
+    against.
+    """
+
+    budget_action = "raise"
+    dedup_accesses = False
+
+    def __init__(
+        self,
+        schema: "Schema",
+        query: "ConjunctiveQuery",
+        default_latency: float = 0.0,
+    ) -> None:
+        self.schema = schema
+        self.query = query
+        self.default_latency = default_latency
+        self.cache: Dict[str, Set[Row]] = {relation.name: set() for relation in schema}
+        self.pool = _ValuePool()
+        #: Delta passes that enumerated at least one fresh binding (the
+        #: kernel offers after every completion, so this counts extraction
+        #: bursts rather than the seed's coarse outer rounds).
+        self.rounds = 0
+        self._free_accessed: Set[str] = set()
+        # One delta product per relation over the logs of its input
+        # domains: each pass enumerates only the bindings not produced
+        # before.
+        self._products: Dict[str, DeltaProduct] = {
+            relation.name: DeltaProduct(
+                [self.pool.log(domain_) for domain_ in relation.input_domains]
+            )
+            for relation in schema
+        }
+        # The pool starts from the constants of the query, typed by the
+        # abstract domains of the positions where they occur.
+        for constant, domains in query.constant_domains(schema).items():
+            for domain_ in domains:
+                self.pool.add(domain_, constant.value)
+
+    def make_dispatcher(
+        self, registry: "SourceRegistry", log: "AccessLog", budget: AccessBudget
+    ) -> Dispatcher:
+        return SequentialDispatcher(registry, log, budget, self.default_latency)
+
+    def offer(self, emit: Emit) -> bool:
+        emitted = False
+        for relation in self.schema:
+            for binding in self._fresh_bindings(relation):
+                emitted = True
+                emit(AccessRequest(relation.name, relation.name, binding))
+        if emitted:
+            self.rounds += 1
+        return False  # nothing is ever served locally
+
+    def _fresh_bindings(self, relation: "RelationSchema"):
+        if not relation.input_domains:
+            # A free relation is accessed exactly once, with the empty binding.
+            if relation.name in self._free_accessed:
+                return iter(())
+            self._free_accessed.add(relation.name)
+            return iter(((),))
+        return self._products[relation.name].fresh()
+
+    def absorb(self, completion: Completion) -> None:
+        rows = completion.rows
+        if not rows:
+            return
+        relation = self.schema[completion.request.relation]
+        self.cache[relation.name].update(rows)
+        # Rows are poured in sorted order so the pool logs — and therefore
+        # the binding enumeration order — never depend on set iteration
+        # order.
+        for row in sorted(rows, key=repr):
+            for position, value in enumerate(row):
+                self.pool.add(relation.domain_at(position), value)
+
+    def evaluate(self) -> FrozenSet[Row]:
+        return self.query.evaluate(self.cache)
+
+    def budget_message(self) -> str:
+        return (
+            "naive evaluation exceeded the access budget of "
+            f"{self.dispatcher.budget.limit}"
+        )
+
+
+# ------------------------------------------------------------------------------
+class PlanPolicy(SchedulingPolicy):
+    """Shared machinery of the plan-driven policies.
+
+    Owns the plan's cache tables and delta-driven binding generators in a
+    (possibly session-shared) :class:`~repro.sources.cache.CacheDatabase`,
+    serves meta-cache hits at offer time, absorbs completions into the
+    cache tables, and evaluates the rewritten query over them.
+    """
+
+    def __init__(self, plan: "QueryPlan", cache_db: "CacheDatabase") -> None:
+        self.plan = plan
+        self.cache_db = cache_db
+        self.generators: Dict[str, CacheBindingGenerator] = initialize_plan_caches(
+            plan, cache_db
+        )
+
+    def _offer_caches(
+        self,
+        caches: List["CachePredicate"],
+        emit: Emit,
+        serve_from_meta: bool = True,
+    ) -> bool:
+        """Offer the fresh bindings of the given caches; True when a
+        meta-cache hit changed some cache's contents."""
+        changed = False
+        for cache in caches:
+            # The generator yields each binding of this cache exactly once
+            # over the whole run, so no dedup set is needed here.
+            for binding in self.generators[cache.name].fresh_bindings():
+                if serve_from_meta:
+                    meta = self.cache_db.meta_cache(cache.relation)
+                    rows = meta.lookup(binding)
+                    if rows is not None:
+                        if self.cache_db.cache(cache.name).add_all(rows):
+                            changed = True
+                        continue
+                emit(AccessRequest(cache.name, cache.relation.name, binding))
+        return changed
+
+    def absorb(self, completion: Completion) -> None:
+        self.cache_db.cache(completion.request.target).add_all(completion.rows)
+
+    def evaluate(self) -> FrozenSet[Row]:
+        return self.plan.rewritten_query.evaluate(self.cache_db.contents())
+
+    def meta_for(self, relation: str) -> Optional["MetaCache"]:
+        return self.cache_db.meta_cache(self.plan.schema[relation])
+
+    def _plan_relations(self) -> List[str]:
+        """Accessed relations of the plan, in cache declaration order."""
+        names: List[str] = []
+        for cache in self.plan.caches.values():
+            if cache.is_artificial or cache.relation.name in names:
+                continue
+            names.append(cache.relation.name)
+        return names
+
+
+class OrderedFastFail(PlanPolicy):
+    """Section IV: populate positions in order, failing fast in between.
+
+    One kernel phase per ordering position.  Before each phase the
+    sub-query over the already-populated caches is checked for
+    satisfiability; if it fails, the answer is certainly empty and the run
+    stops without further accesses (``failed_at`` records the position).
+    Within a phase, only the caches of the current position are offered.
+    """
+
+    budget_action = "raise"
+
+    def __init__(
+        self,
+        plan: "QueryPlan",
+        cache_db: "CacheDatabase",
+        fast_fail: bool = True,
+        use_meta_cache: bool = True,
+    ) -> None:
+        super().__init__(plan, cache_db)
+        self.fast_fail = fast_fail
+        self.use_meta_cache = use_meta_cache
+        self.dedup_accesses = use_meta_cache
+        self._positions = plan.positions()
+        self._index = -1
+        self.failed_at: Optional[int] = None
+
+    def make_dispatcher(
+        self, registry: "SourceRegistry", log: "AccessLog", budget: AccessBudget
+    ) -> Dispatcher:
+        return SequentialDispatcher(registry, log, budget)
+
+    def begin(self) -> bool:
+        return self.advance()
+
+    def advance(self) -> bool:
+        self._index += 1
+        if self._index >= len(self._positions):
+            return False
+        position = self._positions[self._index]
+        if self.fast_fail and not self._prefix_satisfiable(position):
+            self.failed_at = position
+            return False
+        return True
+
+    def offer(self, emit: Emit) -> bool:
+        position = self._positions[self._index]
+        caches = [
+            cache
+            for cache in self.plan.caches_at(position)
+            if not cache.is_artificial
+        ]
+        return self._offer_caches(caches, emit, serve_from_meta=self.use_meta_cache)
+
+    def evaluate(self) -> FrozenSet[Row]:
+        if self.failed_at is not None:
+            return frozenset()
+        return super().evaluate()
+
+    def budget_message(self) -> str:
+        return (
+            "plan execution exceeded the access budget of "
+            f"{self.dispatcher.budget.limit}"
+        )
+
+    def _prefix_satisfiable(self, position: int) -> bool:
+        """Early non-emptiness test over the already-populated caches.
+
+        Evaluates the sub-conjunction of the rewritten query restricted to
+        the atoms whose cache position is strictly smaller than
+        ``position``; if it is unsatisfiable, the whole query is certainly
+        empty.
+        """
+        prefix_atoms = []
+        for atom in self.plan.rewritten_query.body:
+            cache = self.plan.caches.get(atom.predicate)
+            if cache is not None and cache.position < position:
+                prefix_atoms.append(atom)
+        if not prefix_atoms:
+            return True
+        from repro.query.evaluate import conjunction_is_satisfiable
+
+        return conjunction_is_satisfiable(prefix_atoms, self.cache_db.contents())
+
+
+class SimulatedParallel(PlanPolicy):
+    """Section V: offer every cache eagerly, dispatch on the event-heap
+    simulation of parallel wrappers."""
+
+    budget_action = "stop"
+
+    def __init__(
+        self,
+        plan: "QueryPlan",
+        cache_db: "CacheDatabase",
+        default_latency: float = 0.01,
+        queue_capacity: int = 64,
+        respect_ordering: bool = False,
+    ) -> None:
+        super().__init__(plan, cache_db)
+        self.default_latency = default_latency
+        self.queue_capacity = queue_capacity
+        self.respect_ordering = respect_ordering
+
+    def make_dispatcher(
+        self, registry: "SourceRegistry", log: "AccessLog", budget: AccessBudget
+    ) -> Dispatcher:
+        return SimulatedParallelDispatcher(
+            registry,
+            log,
+            budget,
+            self._plan_relations(),
+            default_latency=self.default_latency,
+            queue_capacity=self.queue_capacity,
+        )
+
+    def offer(self, emit: Emit) -> bool:
+        caches = [
+            cache
+            for cache in self.plan.caches.values()
+            if not cache.is_artificial and not self._held_back(cache)
+        ]
+        return self._offer_caches(caches, emit)
+
+    def _held_back(self, cache: "CachePredicate") -> bool:
+        """With ``respect_ordering``, a cache's accesses are only offered
+        once every cache of a strictly smaller position has drained."""
+        if not self.respect_ordering:
+            return False
+        for other in self.plan.caches.values():
+            if other.is_artificial or other.position >= cache.position:
+                continue
+            if self.dispatcher.relation_active(other.relation.name):
+                return True
+        return False
+
+
+class RealThreadPool(SimulatedParallel):
+    """Section V over a real thread pool: the same eager offers, but the
+    accesses genuinely overlap against the backends."""
+
+    def __init__(
+        self,
+        plan: "QueryPlan",
+        cache_db: "CacheDatabase",
+        queue_capacity: int = 64,
+        respect_ordering: bool = False,
+        max_workers: int = 8,
+    ) -> None:
+        super().__init__(
+            plan,
+            cache_db,
+            queue_capacity=queue_capacity,
+            respect_ordering=respect_ordering,
+        )
+        self.max_workers = max_workers
+
+    def make_dispatcher(
+        self, registry: "SourceRegistry", log: "AccessLog", budget: AccessBudget
+    ) -> Dispatcher:
+        return ThreadPoolDispatcher(
+            registry,
+            log,
+            budget,
+            self._plan_relations(),
+            max_workers=self.max_workers,
+            batch_size=self.queue_capacity,
+        )

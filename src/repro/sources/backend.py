@@ -21,9 +21,11 @@ relation's wrapper.  Three backends ship with the library:
 Backends are *pure readers*: they do no counting, no logging and no latency
 simulation — that bookkeeping stays in :class:`~repro.sources.wrapper.
 SourceWrapper`.  They must be safe to call from multiple threads, because
-the real-concurrency dispatcher (:mod:`repro.plan.dispatch`) issues lookups
-from a thread pool; :class:`SQLiteBackend` serializes on an internal lock,
-the other two are read-only over immutable state.
+the real-concurrency dispatcher
+(:class:`~repro.runtime.dispatch.ThreadPoolDispatcher`) issues lookups
+from a thread pool and :meth:`~repro.engine.engine.Engine.execute_many`
+runs whole queries concurrently; :class:`SQLiteBackend` serializes on an
+internal lock, the other two are read-only over immutable state.
 """
 
 from __future__ import annotations

@@ -26,6 +26,7 @@ since their last visit (delta-driven binding generation, see
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Deque, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -131,6 +132,15 @@ class MetaCache:
     over every recorded access.  The union is append-only: re-recording a
     binding never removes rows from it (sources are assumed immutable within
     a session, so a repeated access returns the same rows anyway).
+
+    Meta-caches are shared between the concurrent executions of an engine
+    session, so every method is thread-safe, and the *claim* protocol
+    extends the "never repeat an access" invariant across threads: a
+    dispatcher :meth:`claim`\\ s a binding before touching the source.  The
+    first claimant owns the access (and must :meth:`record` or
+    :meth:`abandon` it); later claimants block until it is fulfilled and
+    read the rows for free.  An owner never holds a claim while waiting on
+    another, so claim chains always resolve.
     """
 
     def __init__(self, relation: RelationSchema) -> None:
@@ -138,31 +148,81 @@ class MetaCache:
         self._results: Dict[Tuple[object, ...], FrozenSet[Row]] = {}
         self._union: Set[Row] = set()
         self._union_view: Optional[FrozenSet[Row]] = None
+        self._inflight: Set[Tuple[object, ...]] = set()
+        self._cond = threading.Condition()
+        #: Accesses answered locally instead of hitting the source (offer
+        #: passes and claim hits alike); feeds the session hit-rate stats.
+        self.hits = 0
 
     def has_access(self, binding: Tuple[object, ...]) -> bool:
-        return tuple(binding) in self._results
+        with self._cond:
+            return tuple(binding) in self._results
 
     def record(self, binding: Tuple[object, ...], rows: FrozenSet[Row]) -> None:
+        """Record one performed access, fulfilling any claim on its binding."""
         rows = frozenset(rows)
-        self._results[tuple(binding)] = rows
-        if not rows <= self._union:
-            self._union.update(rows)
-            self._union_view = None
+        binding = tuple(binding)
+        with self._cond:
+            self._results[binding] = rows
+            if not rows <= self._union:
+                self._union.update(rows)
+                self._union_view = None
+            if binding in self._inflight:
+                self._inflight.discard(binding)
+                self._cond.notify_all()
 
     def rows_for(self, binding: Tuple[object, ...]) -> FrozenSet[Row]:
-        return self._results.get(tuple(binding), frozenset())
+        with self._cond:
+            return self._results.get(tuple(binding), frozenset())
+
+    def lookup(self, binding: Tuple[object, ...]) -> Optional[FrozenSet[Row]]:
+        """The recorded rows for a binding, or None — counting a hit."""
+        with self._cond:
+            rows = self._results.get(tuple(binding))
+            if rows is not None:
+                self.hits += 1
+            return rows
+
+    def claim(self, binding: Tuple[object, ...]) -> Optional[FrozenSet[Row]]:
+        """Atomically take ownership of one access, or be served its rows.
+
+        Returns None when the caller now owns the access (it must call
+        :meth:`record` with the retrieved rows, or :meth:`abandon` on
+        failure); returns the rows when the binding is already recorded —
+        possibly after waiting out another execution's in-flight access.
+        """
+        binding = tuple(binding)
+        with self._cond:
+            while True:
+                rows = self._results.get(binding)
+                if rows is not None:
+                    self.hits += 1
+                    return rows
+                if binding not in self._inflight:
+                    self._inflight.add(binding)
+                    return None
+                self._cond.wait()
+
+    def abandon(self, binding: Tuple[object, ...]) -> None:
+        """Give up an owned claim (the access failed); waiters re-contend."""
+        with self._cond:
+            self._inflight.discard(tuple(binding))
+            self._cond.notify_all()
 
     def bindings(self) -> FrozenSet[Tuple[object, ...]]:
-        return frozenset(self._results)
+        with self._cond:
+            return frozenset(self._results)
 
     def all_rows(self) -> FrozenSet[Row]:
         """Union of all rows extracted from the relation so far."""
-        if self._union_view is None:
-            self._union_view = frozenset(self._union)
-        return self._union_view
+        with self._cond:
+            if self._union_view is None:
+                self._union_view = frozenset(self._union)
+            return self._union_view
 
     def __len__(self) -> int:
-        return len(self._results)
+        with self._cond:
+            return len(self._results)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MetaCache({self.relation.name!r}, {len(self)} accesses)"
@@ -219,12 +279,20 @@ class CacheDatabase:
     session passes the same ``shared_meta`` mapping to every execution it
     creates, so that the "never repeat an access" invariant holds *across*
     the queries of the session, not just within one plan.  Cache tables are
-    always private to one execution (they are plan-specific).
+    always private to one execution (they are plan-specific, and mutated
+    only by that execution's coordinating thread); the shared meta mapping
+    is guarded by ``meta_lock`` (the session's lock), so concurrent
+    executions agree on one :class:`MetaCache` object per relation.
     """
 
-    def __init__(self, shared_meta: Optional[Dict[str, MetaCache]] = None) -> None:
+    def __init__(
+        self,
+        shared_meta: Optional[Dict[str, MetaCache]] = None,
+        meta_lock: Optional[threading.Lock] = None,
+    ) -> None:
         self._caches: Dict[str, CacheTable] = {}
         self._meta: Dict[str, MetaCache] = shared_meta if shared_meta is not None else {}
+        self._meta_lock = meta_lock if meta_lock is not None else threading.Lock()
         self._access_tables: Dict[str, AccessTable] = {}
 
     # -- cache tables ------------------------------------------------------------
@@ -252,9 +320,14 @@ class CacheDatabase:
 
     # -- meta-caches ----------------------------------------------------------------
     def meta_cache(self, relation: RelationSchema) -> MetaCache:
-        if relation.name not in self._meta:
-            self._meta[relation.name] = MetaCache(relation)
-        return self._meta[relation.name]
+        meta = self._meta.get(relation.name)
+        if meta is None:
+            with self._meta_lock:
+                meta = self._meta.get(relation.name)
+                if meta is None:
+                    meta = MetaCache(relation)
+                    self._meta[relation.name] = meta
+        return meta
 
     def meta_caches(self) -> Dict[str, MetaCache]:
         return dict(self._meta)

@@ -8,21 +8,34 @@ relation, which are exactly the columns of Figure 6 of the paper.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
 
 from repro.sources.access import AccessRecord, AccessTuple
 
 
 class AccessLog:
-    """An ordered record of accesses with per-relation aggregation."""
+    """An ordered record of accesses with per-relation aggregation.
+
+    Mutation is lock-protected: an engine session's cumulative log absorbs
+    per-execution logs from concurrently finishing queries, so
+    :meth:`record` and :meth:`extend` must be safe to call from several
+    threads.  The aggregation views are meant to be read once the writers
+    have quiesced (per-execution logs have a single writer by design).
+    """
 
     def __init__(self) -> None:
         self._records: List[AccessRecord] = []
         self._seen: Set[AccessTuple] = set()
         self._rows_by_relation: Dict[str, Set[Tuple[object, ...]]] = {}
+        self._lock = threading.Lock()
 
     # -- recording -----------------------------------------------------------
     def record(self, record: AccessRecord) -> None:
+        with self._lock:
+            self._record_locked(record)
+
+    def _record_locked(self, record: AccessRecord) -> None:
         self._records.append(record)
         self._seen.add(record.access)
         self._rows_by_relation.setdefault(record.relation, set()).update(record.rows)
@@ -30,8 +43,9 @@ class AccessLog:
     def extend(self, other: "AccessLog") -> None:
         """Append every record of ``other`` (used to fold per-execution logs
         into an engine session's cumulative log)."""
-        for record in other:
-            self.record(record)
+        with self._lock:
+            for record in other:
+                self._record_locked(record)
 
     def was_accessed(self, access: AccessTuple) -> bool:
         """True when the exact (relation, binding) access was already made."""

@@ -24,6 +24,7 @@ wrappers run in parallel.
 
 from __future__ import annotations
 
+import threading
 from typing import (
     Dict,
     FrozenSet,
@@ -60,6 +61,8 @@ class SourceWrapper:
         self.instance: Optional[RelationInstance] = getattr(self.backend, "instance", None)
         self.latency = latency
         self.access_count = 0
+        # Concurrent engine sessions count accesses through one wrapper.
+        self._count_lock = threading.Lock()
 
     @property
     def schema(self) -> RelationSchema:
@@ -102,7 +105,8 @@ class SourceWrapper:
         access's completion — the event-heap clock for the distillation
         scheduler, the cumulative latency sum for the sequential strategies.
         """
-        self.access_count += 1
+        with self._count_lock:
+            self.access_count += 1
         if log is not None:
             log.record(
                 AccessRecord(

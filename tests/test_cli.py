@@ -129,3 +129,37 @@ def test_real_concurrency_rejected_for_sequential_strategies(capsys) -> None:
 def test_unknown_scenario_is_a_clean_error(capsys) -> None:
     assert main(["run", "--scenario", "moebius"]) == 2
     assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_workload_subcommand_replays_mixed_stream(capsys) -> None:
+    assert main(["workload", "--mix", "star,chain", "--repeat", "2", "--max-parallel", "4"]) == 0
+    output = capsys.readouterr().out
+    assert "answers verified: ok" in output
+    assert "qps" in output and "hit rate" in output
+
+
+def test_workload_subcommand_json(capsys) -> None:
+    assert (
+        main(
+            [
+                "workload",
+                "--mix",
+                "star,diamond",
+                "--backend",
+                "sqlite",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["verified"] is True
+    assert payload["queries"] == 4
+    assert payload["total_accesses"] > 0
+    assert payload["meta_hits"] >= payload["total_accesses"]
+    assert len(payload["per_query"]) == 4
+
+
+def test_workload_subcommand_rejects_unknown_scenario(capsys) -> None:
+    assert main(["workload", "--mix", "star,moebius"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err

@@ -1,0 +1,139 @@
+"""Concurrent engine sessions: N threads on one engine must behave like a
+sequential replay — same answers, same distinct accesses — and never repeat
+an access, thanks to the session meta-caches' claim protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Engine
+from repro.examples import chain_example, mixed_workload
+from repro.sources.wrapper import SourceRegistry
+
+BACKENDS = ("memory", "sqlite", "callable")
+
+MIX = ("star", "diamond", "chain")
+
+
+def _engine(workload, backend: str) -> Engine:
+    registry = SourceRegistry(
+        workload.instance,
+        backend=backend,
+        # A little real latency keeps several queries genuinely in flight.
+        real_latency=0.001 if backend == "callable" else 0.0,
+    )
+    return Engine(workload.schema, registry)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_concurrent_queries_match_sequential_execution(backend: str) -> None:
+    workload = mixed_workload(MIX, repeat=2)
+
+    with _engine(workload, backend) as engine:
+        sequential = [engine.execute(text) for text in workload.query_texts()]
+        sequential_distinct = engine.session.log.access_set()
+        sequential_total = engine.session.log.total_accesses
+
+    with _engine(workload, backend) as engine:
+        concurrent = engine.execute_many(workload.query_texts(), max_parallel=6)
+        concurrent_distinct = engine.session.log.access_set()
+        concurrent_total = engine.session.log.total_accesses
+
+    for query, seq, conc in zip(workload.queries, sequential, concurrent):
+        assert seq.answers == query.expected_answers, query.scenario
+        assert conc.answers == query.expected_answers, query.scenario
+    # The threads performed exactly the accesses the sequential replay did:
+    # nothing extra (claims dedup racing queries) and nothing missing.
+    assert concurrent_distinct == sequential_distinct
+    assert concurrent_total == sequential_total == len(sequential_distinct)
+
+
+def test_execute_many_is_deterministic_across_runs() -> None:
+    workload = mixed_workload(MIX, repeat=2)
+    observed = set()
+    for _ in range(3):
+        with _engine(workload, "callable") as engine:
+            results = engine.execute_many(workload.query_texts(), max_parallel=4)
+            answers = tuple(frozenset(result.answers) for result in results)
+            observed.add((answers, engine.session.log.total_accesses))
+    assert len(observed) == 1
+
+
+def test_same_query_raced_by_many_threads_accesses_sources_once() -> None:
+    chain = chain_example(length=3, width=6)
+    with Engine(chain.schema, chain.instance) as engine:
+        reference_accesses = Engine(chain.schema, chain.instance).execute(
+            chain.query_text
+        ).total_accesses
+
+        results = engine.execute_many([chain.query_text] * 8, max_parallel=8)
+        for result in results:
+            assert result.answers == chain.expected_answers
+        # Eight racing copies of one query still only ever touch the
+        # sources once per distinct access tuple.
+        assert engine.session.log.total_accesses == reference_accesses
+        assert sum(r.total_accesses for r in results) == reference_accesses
+
+
+def test_raw_threads_share_one_engine_safely() -> None:
+    workload = mixed_workload(MIX, repeat=1)
+    with _engine(workload, "sqlite") as engine:
+        results: dict = {}
+        errors: list = []
+
+        def run(index: int, text: str) -> None:
+            try:
+                results[index] = engine.execute(text)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run, args=(index, text))
+            for index, text in enumerate(workload.query_texts())
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for index, query in enumerate(workload.queries):
+            assert results[index].answers == query.expected_answers, query.scenario
+        assert engine.session_stats()["executions"] == len(workload.queries)
+
+
+def test_workload_report_counts_hits_and_peak() -> None:
+    workload = mixed_workload(("star", "chain"), repeat=2)
+    with _engine(workload, "callable") as engine:
+        report = engine.run_workload(workload.query_texts(), max_parallel=4)
+    assert len(report.results) == 4
+    assert report.total_accesses > 0
+    # The repeated queries are answered entirely from the session caches.
+    assert report.meta_hits >= report.total_accesses
+    assert 0.0 < report.hit_rate < 1.0
+    assert report.peak_in_flight >= 1
+    assert report.qps > 0
+    payload = report.to_dict()
+    assert payload["queries"] == 4
+    assert payload["max_parallel"] == 4
+
+
+def test_engine_is_a_context_manager() -> None:
+    chain = chain_example(length=2, width=3)
+    with Engine(chain.schema, chain.instance, backend="sqlite") as engine:
+        result = engine.execute(chain.query_text)
+        assert result.answers == chain.expected_answers
+        wrapper = engine.registry.wrapper("free")
+    # The SQLite backends are closed on exit: further lookups must fail.
+    with pytest.raises(Exception):
+        wrapper.lookup(())
+
+    with pytest.raises(RuntimeError):
+        with Engine(chain.schema, chain.instance, backend="sqlite") as engine:
+            wrapper = engine.registry.wrapper("free")
+            raise RuntimeError("boom")
+    # Closed on the error path too.
+    with pytest.raises(Exception):
+        wrapper.lookup(())

@@ -1,0 +1,118 @@
+"""Property-style parser round-trip: parse → render → parse is a fixpoint.
+
+Random queries mix quoted constants containing the separators the parser
+must not split on (``:-``, ``<-``, commas), numeric constants, repeated
+anonymous ``_`` terms and mixed arities.  For every generated query the
+first render must reparse to an equal query and render identically again,
+and anonymous variables must stay pairwise distinct (no silent equi-join).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.query.terms import Variable
+
+#: Constants deliberately containing the tokens the tokenizer must treat as
+#: data when quoted.
+TRICKY_CONSTANTS = [
+    "a:-b",
+    "x,y",
+    "<- arrow",
+    "volare :- nel blu",
+    "trailing,",
+    ":-",
+    "plain",
+]
+
+VARIABLE_POOL = ["X", "Y", "Z", "W1", "Long_Var", "V2"]
+
+PREDICATE_POOL = ["r", "s", "t", "edge", "rel3"]
+
+
+def _random_query_text(rng: random.Random) -> str:
+    body_atoms = []
+    body_variables = []
+    for _ in range(rng.randint(1, 4)):
+        predicate = rng.choice(PREDICATE_POOL)
+        terms = []
+        for _ in range(rng.randint(1, 4)):  # mixed arities
+            kind = rng.random()
+            if kind < 0.35:
+                variable = rng.choice(VARIABLE_POOL)
+                body_variables.append(variable)
+                terms.append(variable)
+            elif kind < 0.55:
+                terms.append("_")
+            elif kind < 0.8:
+                terms.append("'" + rng.choice(TRICKY_CONSTANTS) + "'")
+            elif kind < 0.9:
+                terms.append(str(rng.randint(-50, 50)))
+            else:
+                terms.append(str(rng.randint(0, 9)) + ".5")
+        body_atoms.append(f"{predicate}({', '.join(terms)})")
+    if body_variables and rng.random() < 0.9:
+        head_count = rng.randint(1, min(3, len(body_variables)))
+        head_terms = rng.sample(body_variables, head_count)
+    else:
+        head_terms = []  # boolean query
+    separator = rng.choice(["<-", ":-"])
+    return f"q({', '.join(head_terms)}) {separator} {', '.join(body_atoms)}"
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_parse_render_parse_is_a_fixpoint(seed: int) -> None:
+    rng = random.Random(seed)
+    for _ in range(50):
+        text = _random_query_text(rng)
+        first = parse_query(text)
+        rendered = str(first)
+        second = parse_query(rendered)
+        # The render is a fixpoint of parse∘render, and parsing it loses
+        # nothing: the queries are structurally identical.
+        assert second == first, text
+        assert str(second) == rendered, text
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_anonymous_variables_stay_pairwise_distinct(seed: int) -> None:
+    rng = random.Random(seed)
+    for _ in range(50):
+        text = _random_query_text(rng)
+        query = parse_query(text)
+        anonymous = [
+            term
+            for atom in query.body
+            for term in atom.terms
+            if isinstance(term, Variable) and term.name.startswith("_anon")
+        ]
+        # One fresh variable per `_` token: none of them may ever coincide
+        # (a shared variable would silently equi-join unrelated positions).
+        assert len(anonymous) == text.count("_,") + text.count("_)") == len(set(anonymous))
+
+
+def test_anonymous_variables_do_not_equi_join_in_evaluation() -> None:
+    query = parse_query("q(X) <- r(X, _), r(_, X)")
+    contents = {"r": {(1, 2), (3, 1)}}
+    # With distinct anonymous variables, X=1 satisfies r(1, 2) and r(3, 1).
+    # A parser that reused one `_` variable would demand r(X, A), r(A, X)
+    # and find nothing.
+    assert query.evaluate(contents) == frozenset({(1,)})
+
+
+def test_quoted_separators_round_trip_exactly() -> None:
+    text = "q(X) :- r(X, 'a:-b'), s('x,y', X), t(X, '<- arrow')"
+    query = parse_query(text)
+    assert len(query.body) == 3
+    rendered = str(query)
+    assert parse_query(rendered) == query
+    constants = {
+        term.value
+        for atom in query.body
+        for term in atom.terms
+        if not isinstance(term, Variable)
+    }
+    assert constants == {"a:-b", "x,y", "<- arrow"}
