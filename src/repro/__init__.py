@@ -41,12 +41,23 @@ from repro.sources.backend import (
     SQLiteBackend,
     build_backend,
 )
+from repro.sources.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    FaultSchedule,
+    FlakyBackend,
+    ResilienceConfig,
+    RetryPolicy,
+    RetryStats,
+)
 from repro.sources.wrapper import SourceRegistry
 
 __version__ = "0.2.0"
 
 __all__ = [
+    "BreakerConfig",
     "CallableBackend",
+    "CircuitBreaker",
     "ConjunctiveQuery",
     "DatabaseInstance",
     "Engine",
@@ -54,11 +65,16 @@ __all__ = [
     "ExecuteOptions",
     "ExecutionStrategy",
     "Explanation",
+    "FaultSchedule",
+    "FlakyBackend",
     "InMemoryBackend",
     "PreparedPlan",
     "RelationSchema",
     "ReproError",
+    "ResilienceConfig",
     "Result",
+    "RetryPolicy",
+    "RetryStats",
     "SQLiteBackend",
     "Schema",
     "SourceBackend",

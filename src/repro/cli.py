@@ -16,7 +16,15 @@ concurrently over one engine session and reports throughput::
     python -m repro run --scenario star:rays=4,width=10 --backend sqlite
     python -m repro run --scenario diamond --backend callable --backend-latency 0.005 \
         --strategy distillation --concurrency real
+    python -m repro run --scenario chaos --fail rate=0.2,seed=7 --retries 2 --timeout 5
     python -m repro workload --mix star,diamond,chain --repeat 2 --max-parallel 4
+    python -m repro workload --mix star,chaos --repeat 2 --fail 0.3 --retries 3
+
+``--fail`` wraps every backend in a deterministic, seeded
+:class:`~repro.sources.resilience.FlakyBackend`; ``--retries``/``--timeout``
+turn on the retry policy and per-access timeout, and results report honest
+completeness (``Result.complete``, failed relations, retry stats) instead
+of crashing on source failures.
 
 Workload file format::
 
@@ -40,6 +48,7 @@ from repro.exceptions import ReproError
 from repro.model.instance import DatabaseInstance
 from repro.model.schema import Schema
 from repro.sources.backend import BACKEND_KINDS
+from repro.sources.resilience import DEFAULT_RETRY, FaultSchedule, RetryPolicy
 from repro.sources.wrapper import SourceRegistry
 
 
@@ -97,6 +106,105 @@ def parse_scenario_spec(spec: str) -> Tuple[str, Dict[str, object]]:
     return name.strip(), params
 
 
+#: ``--fail`` spec keys -> FaultSchedule fields (plus bare-number shorthand).
+_FAIL_KEYS = {
+    "rate": "transient_rate",
+    "transient_rate": "transient_rate",
+    "timeout_rate": "timeout_rate",
+    "slow_rate": "slow_rate",
+    "slow_seconds": "slow_seconds",
+    "seed": "seed",
+    "outage_after": "outage_after",
+}
+
+
+def parse_fail_spec(spec: str) -> FaultSchedule:
+    """Parse a ``--fail`` spec into a deterministic fault schedule.
+
+    Accepts either a bare transient rate (``--fail 0.2``) or key=value
+    pairs (``--fail rate=0.2,timeout_rate=0.05,seed=7``); keys are
+    :data:`_FAIL_KEYS`.  The schedule is seeded, so repeating the command
+    repeats the faults.
+    """
+    spec = spec.strip()
+    if "=" not in spec:
+        try:
+            return FaultSchedule(transient_rate=float(spec))
+        except ValueError:
+            raise ReproError(
+                f"bad --fail spec {spec!r}; expected a rate or key=value pairs "
+                f"({', '.join(sorted(_FAIL_KEYS))})"
+            ) from None
+    fields: Dict[str, object] = {}
+    for piece in filter(None, (p.strip() for p in spec.split(","))):
+        key, separator, raw = piece.partition("=")
+        key = key.strip()
+        if not separator or key not in _FAIL_KEYS:
+            raise ReproError(
+                f"bad --fail parameter {piece!r}; known keys: "
+                f"{', '.join(sorted(_FAIL_KEYS))}"
+            )
+        try:
+            value: object = int(raw) if key in ("seed", "outage_after") else float(raw)
+        except ValueError:
+            raise ReproError(f"bad --fail value {raw!r} for {key!r}") from None
+        fields[_FAIL_KEYS[key]] = value
+    try:
+        return FaultSchedule(**fields)  # type: ignore[arg-type]
+    except ValueError as error:
+        raise ReproError(f"bad --fail spec {spec!r}: {error}") from None
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry transiently failed accesses up to N times with exponential "
+            "backoff (default: no retries, or 2 when --fail injects faults)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-access wall-clock timeout on the real backend read; "
+            "slower reads count as retryable failures"
+        ),
+    )
+    parser.add_argument(
+        "--fail",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "inject deterministic faults into every source backend: a bare "
+            "transient rate (0.2) or key=value pairs, e.g. "
+            "rate=0.2,timeout_rate=0.05,seed=7,outage_after=50"
+        ),
+    )
+
+
+def _resilience_overrides(args: argparse.Namespace) -> Dict[str, object]:
+    """Translate --retries/--timeout into ExecuteOptions overrides."""
+    overrides: Dict[str, object] = {}
+    retries = args.retries
+    if retries is None and args.fail:
+        # Injected faults without an explicit retry budget get the default
+        # policy, so the common chaos invocation recovers transient faults.
+        overrides["retry"] = DEFAULT_RETRY
+    elif retries is not None and retries > 0:
+        overrides["retry"] = RetryPolicy(
+            max_attempts=retries + 1, base_delay=0.01, max_delay=0.1
+        )
+    if args.timeout is not None:
+        overrides["timeout"] = args.timeout
+    return overrides
+
+
 def _build_engine(args: argparse.Namespace) -> Tuple[Engine, str]:
     """Resolve the engine and the query text from the parsed arguments."""
     if args.example:
@@ -119,6 +227,8 @@ def _build_engine(args: argparse.Namespace) -> Tuple[Engine, str]:
         backend=args.backend,
         real_latency=args.backend_latency,
     )
+    if getattr(args, "fail", None):
+        registry.inject_faults(parse_fail_spec(args.fail))
     return Engine(schema, registry), query
 
 
@@ -192,6 +302,7 @@ def _command_run(args: argparse.Namespace) -> int:
             f"not {strategy!r}; pass --strategy distillation"
         )
     engine, query = _build_engine(args)
+    resilience = _resilience_overrides(args)
     with engine:
         prepared = engine.plan(query)
         if args.stream:
@@ -201,6 +312,7 @@ def _command_run(args: argparse.Namespace) -> int:
                 answer_check_interval=1,
                 concurrency=args.concurrency,
                 max_workers=args.max_workers,
+                **resilience,
             ):
                 streamed.append(answer)
                 if not args.json:
@@ -222,6 +334,7 @@ def _command_run(args: argparse.Namespace) -> int:
             strategy=strategy,
             concurrency=args.concurrency,
             max_workers=args.max_workers,
+            **resilience,
         )
         if args.json:
             print(json.dumps(result.to_dict(), indent=2))
@@ -243,28 +356,38 @@ def _command_workload(args: argparse.Namespace) -> int:
         backend=args.backend,
         real_latency=args.backend_latency,
     )
+    if args.fail:
+        registry.inject_faults(parse_fail_spec(args.fail))
     with Engine(workload.schema, registry) as engine:
         report = engine.run_workload(
             workload.query_texts(),
             strategy=args.strategy,
             max_parallel=args.max_parallel,
+            **_resilience_overrides(args),
         )
+        # The completeness contract under test: a result claiming complete
+        # must equal the scenario's fault-free answers; an incomplete one
+        # (source failure / budget) is honest about being a lower bound.
         mismatches = [
             query.scenario
             for query, result in zip(workload.queries, report.results)
-            if result.answers != query.expected_answers
+            if result.complete and result.answers != query.expected_answers
         ]
+        incomplete = sum(1 for result in report.results if not result.complete)
         if args.json:
             payload = report.to_dict()
             payload["workload"] = workload.name
             payload["strategy"] = args.strategy
             payload["backend"] = args.backend
             payload["verified"] = not mismatches
+            payload["incomplete_results"] = incomplete
             payload["per_query"] = [
                 {
                     "scenario": query.scenario,
                     "answers": len(result.answers),
                     "accesses": result.total_accesses,
+                    "complete": result.complete,
+                    "failed_relations": list(result.failed_relations),
                 }
                 for query, result in zip(workload.queries, report.results)
             ]
@@ -276,11 +399,14 @@ def _command_workload(args: argparse.Namespace) -> int:
                 f"max_parallel {args.max_parallel})"
             )
             for query, result in zip(workload.queries, report.results):
+                flag = "" if result.complete else "  (incomplete)"
                 print(
                     f"  {query.scenario:>14}: {len(result.answers):>4} answers, "
-                    f"{result.total_accesses:>4} accesses"
+                    f"{result.total_accesses:>4} accesses{flag}"
                 )
             verdict = "ok" if not mismatches else f"MISMATCH in {sorted(set(mismatches))}"
+            if incomplete:
+                verdict += f" ({incomplete} incomplete under injected faults)"
             print(f"answers verified: {verdict}")
             print(
                 f"wall {report.wall_seconds:.3f}s  qps {report.qps:.1f}  "
@@ -334,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         help="thread-pool size for --concurrency real (default: 8)",
     )
+    _add_resilience_arguments(run_parser)
     run_parser.set_defaults(handler=_command_run)
 
     explain_parser = subparsers.add_parser("explain", help="print the explain() pipeline output")
@@ -387,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
     workload_parser.add_argument(
         "--latency", type=float, default=0.0, help="simulated per-access latency (seconds)"
     )
+    _add_resilience_arguments(workload_parser)
     workload_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )

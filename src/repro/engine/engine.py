@@ -352,7 +352,15 @@ class Engine:
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
-        """Close every source backend (e.g. SQLite connections); idempotent."""
+        """Close every source backend (e.g. SQLite connections).
+
+        Idempotent, and safe after a backend error mid-query: double close
+        and close-after-failure are no-ops, so ``with Engine(...)`` tears
+        down cleanly no matter how the last execution ended.
+        """
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
         self.registry.close()
 
     def __enter__(self) -> "Engine":

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.sources.log import AccessLog
+from repro.sources.resilience import RetryStats
 
 Row = Tuple[object, ...]
 
@@ -30,6 +31,10 @@ class Termination(enum.Enum):
     #: The access budget (``max_accesses``) stopped the execution early;
     #: the answers derived up to that point are reported, but more may exist.
     BUDGET_EXHAUSTED = "budget_exhausted"
+    #: At least one source access permanently failed (retries exhausted,
+    #: source down, or circuit breaker open); the answers derived from the
+    #: surviving accesses are reported, but more may exist.
+    SOURCE_FAILURE = "source_failure"
 
     def __str__(self) -> str:
         return self.value
@@ -64,6 +69,10 @@ class Result:
             strategy streams (None otherwise).
         failed_at_position: ordering position at which the fast-failing test
             cut the execution, if it did.
+        failed_relations: relations with at least one permanently failed
+            access during the execution (sorted).
+        retry_stats: resilience accounting of the execution (attempts,
+            retries, failures, breaker trips, refunds, backoff).
         access_log: the ordered record of this execution's accesses.
         raw: the strategy-specific result object, for callers that need the
             full detail (e.g. the naive value pool or the answer times).
@@ -78,6 +87,8 @@ class Result:
     simulated_latency: float
     time_to_first_answer: Optional[float] = None
     failed_at_position: Optional[int] = None
+    failed_relations: Tuple[str, ...] = ()
+    retry_stats: RetryStats = field(default_factory=RetryStats)
     access_log: AccessLog = field(default_factory=AccessLog, repr=False)
     raw: object = field(default=None, repr=False)
 
@@ -90,6 +101,21 @@ class Result:
     def budget_exhausted(self) -> bool:
         """True when the access budget cut the run; ``answers`` is then a lower bound."""
         return self.termination is Termination.BUDGET_EXHAUSTED
+
+    @property
+    def complete(self) -> bool:
+        """The honest-completeness contract: True iff the execution reached
+        its fixpoint (or proved the answer empty) with every needed access
+        served — no budget cut, no source failure.  When True, ``answers``
+        equals what a fault-free run computes; when False, ``answers`` is a
+        lower bound and ``failed_relations`` / ``budget_exhausted`` say why.
+        """
+        return self.termination in (Termination.COMPLETED, Termination.FAST_FAILED)
+
+    @property
+    def source_failure(self) -> bool:
+        """True when at least one source access permanently failed."""
+        return bool(self.failed_relations)
 
     def accesses_of(self, relation: str) -> int:
         for breakdown in self.per_source:
@@ -127,6 +153,9 @@ class Result:
             "simulated_latency": self.simulated_latency,
             "time_to_first_answer": self.time_to_first_answer,
             "failed_at_position": self.failed_at_position,
+            "complete": self.complete,
+            "failed_relations": list(self.failed_relations),
+            "retry_stats": self.retry_stats.to_dict(),
         }
 
     def summary(self) -> str:
@@ -143,6 +172,15 @@ class Result:
             lines.append(f"first answer : {self.time_to_first_answer:.4f}")
         if self.failed_at_position is not None:
             lines.append(f"failed at pos: {self.failed_at_position}")
+        if not self.complete:
+            lines.append("complete     : no (answers are a lower bound)")
+        if self.failed_relations:
+            lines.append(f"failed rels  : {', '.join(self.failed_relations)}")
+            stats = self.retry_stats
+            lines.append(
+                f"resilience   : {stats.attempts} attempts, {stats.retries} retries, "
+                f"{stats.failures} failures, {stats.short_circuited} short-circuited"
+            )
         for breakdown in self.per_source:
             lines.append(
                 f"  {breakdown.relation}: {breakdown.accesses} accesses, "

@@ -58,6 +58,20 @@ def _session_cache_db(prepared: "PreparedPlan", options: ExecuteOptions) -> Cach
     return CacheDatabase()
 
 
+def _termination(raw: object, default: Termination) -> Termination:
+    """Shape a raw result's failure flags into the shared termination.
+
+    A source failure outranks everything: whatever else the run concluded
+    (fast-fail, budget, completion), a permanently failed access means the
+    answers may be a lower bound and the result must say so.
+    """
+    if getattr(raw, "failed_relations", ()):
+        return Termination.SOURCE_FAILURE
+    if getattr(raw, "budget_exhausted", False):
+        return Termination.BUDGET_EXHAUSTED
+    return default
+
+
 @register_strategy
 class NaiveStrategy(ExecutionStrategy):
     """The all-relations extraction baseline of Figure 1.
@@ -72,7 +86,10 @@ class NaiveStrategy(ExecutionStrategy):
         engine = prepared.engine
         log = AccessLog()
         evaluator = NaiveEvaluator(
-            engine.schema, engine.registry, max_accesses=options.max_accesses
+            engine.schema,
+            engine.registry,
+            max_accesses=options.max_accesses,
+            resilience=options.resilience(),
         )
         started = time.perf_counter()
         try:
@@ -86,11 +103,13 @@ class NaiveStrategy(ExecutionStrategy):
         return Result(
             strategy=self.name,
             answers=raw.answers,
-            termination=Termination.COMPLETED,
+            termination=_termination(raw, Termination.COMPLETED),
             total_accesses=raw.total_accesses,
             per_source=per_source,
             elapsed_seconds=elapsed,
             simulated_latency=simulated,
+            failed_relations=raw.failed_relations,
+            retry_stats=raw.retry_stats,
             access_log=log,
             raw=raw,
         )
@@ -112,6 +131,7 @@ class FastFailStrategy(ExecutionStrategy):
                 fast_fail=options.fast_fail,
                 use_meta_cache=options.use_meta_cache,
                 max_accesses=options.max_accesses,
+                resilience=options.resilience(),
             ),
         )
         try:
@@ -122,12 +142,17 @@ class FastFailStrategy(ExecutionStrategy):
         return Result(
             strategy=self.name,
             answers=raw.answers,
-            termination=Termination.FAST_FAILED if raw.failed_fast else Termination.COMPLETED,
+            termination=_termination(
+                raw,
+                Termination.FAST_FAILED if raw.failed_fast else Termination.COMPLETED,
+            ),
             total_accesses=raw.total_accesses,
             per_source=per_source,
             elapsed_seconds=raw.elapsed_seconds,
             simulated_latency=simulated,
             failed_at_position=raw.failed_at_position,
+            failed_relations=raw.failed_relations,
+            retry_stats=raw.retry_stats,
             access_log=log,
             raw=raw,
         )
@@ -154,6 +179,7 @@ class DistillationStrategy(ExecutionStrategy):
             max_accesses=options.max_accesses,
             concurrency=options.concurrency,
             max_workers=options.max_workers,
+            resilience=options.resilience(),
         )
 
     def run(self, prepared: "PreparedPlan", options: ExecuteOptions) -> Result:
@@ -170,16 +196,14 @@ class DistillationStrategy(ExecutionStrategy):
         return Result(
             strategy=self.name,
             answers=raw.answers,
-            termination=(
-                Termination.BUDGET_EXHAUSTED
-                if raw.budget_exhausted
-                else Termination.COMPLETED
-            ),
+            termination=_termination(raw, Termination.COMPLETED),
             total_accesses=raw.total_accesses,
             per_source=per_source,
             elapsed_seconds=elapsed,
             simulated_latency=raw.total_time,
             time_to_first_answer=raw.time_to_first_answer,
+            failed_relations=raw.failed_relations,
+            retry_stats=raw.retry_stats,
             access_log=log,
             raw=raw,
         )

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, ClassVar, Dict, Iterator, Optional, Tuple, Typ
 
 from repro.exceptions import StrategyError
 from repro.plan.parallel import StreamedAnswer
+from repro.sources.resilience import BreakerConfig, ResilienceConfig, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.prepared import PreparedPlan
@@ -59,6 +60,16 @@ class ExecuteOptions:
             slow backends genuinely overlap.  Answers are identical between
             the modes; only the clocks differ.
         max_workers: thread-pool size for ``concurrency="real"``.
+        retry: retry accesses that fail transiently, with exponential
+            backoff priced through the run's clock (``None``: one attempt).
+        timeout: per-access timeout in *wall-clock seconds of the actual
+            backend read*; a slower read counts as a (retryable) failure.
+            It bounds real I/O (SQLite, callable/HTTP sources, injected
+            slow calls) — simulated wrapper latency is pricing, not real
+            delay, and is not subject to it.
+        breaker: per-relation circuit-breaker configuration; an open
+            breaker short-circuits accesses and excludes the relation from
+            further offers until its cool-down elapses.
     """
 
     fast_fail: bool = True
@@ -71,6 +82,9 @@ class ExecuteOptions:
     respect_ordering: bool = False
     concurrency: str = "simulated"
     max_workers: int = 8
+    retry: Optional[RetryPolicy] = None
+    timeout: Optional[float] = None
+    breaker: Optional[BreakerConfig] = None
 
     def override(self, **changes: object) -> "ExecuteOptions":
         """Return a copy with the given fields replaced."""
@@ -78,6 +92,13 @@ class ExecuteOptions:
             return replace(self, **changes)  # type: ignore[arg-type]
         except TypeError as error:
             raise StrategyError(f"unknown execution option: {error}") from None
+
+    def resilience(self) -> Optional[ResilienceConfig]:
+        """The retry/timeout/breaker knobs as one kernel-ready config
+        (``None`` when all three are off)."""
+        if self.retry is None and self.timeout is None and self.breaker is None:
+            return None
+        return ResilienceConfig(retry=self.retry, timeout=self.timeout, breaker=self.breaker)
 
 
 def streaming_unsupported(name: str, *, plan: object = None) -> StrategyError:

@@ -340,6 +340,58 @@ def cyclic_example(size: int = 8, seeds: int = 2) -> Example:
     )
 
 
+def chaos_example(width: int = 8, rays: int = 3, selectivity: float = 1.0) -> Example:
+    """The fault-tolerance stress topology: a star with a joined tail stage.
+
+    ``hub^oo(D0, Aux)`` emits ``width`` values; each ``spoke_k^ioo(D0,
+    S_k, Aux)`` answers for the surviving fraction; ``tail^ioo(S1, Out,
+    Aux)`` maps the first spoke's values to the answers.  The shape mixes
+    the failure modes that matter: independent parallel sources (the
+    spokes — one flaky spoke starves the whole join), a second-hop
+    dependency (the tail — an upstream failure silently empties it), and
+    an irrelevant ``noise^io(D0, Aux)`` relation that only the naive
+    strategy touches.  The topology itself is deterministic; faults are
+    injected on top via :class:`~repro.sources.resilience.FlakyBackend`
+    (``repro run --scenario chaos --fail rate=0.2``), so
+    ``expected_answers`` is always the fault-free answer set that a
+    ``Result.complete`` execution must reproduce exactly.
+    """
+    if width < 1 or rays < 1:
+        raise ValueError("chaos_example needs width >= 1 and rays >= 1")
+    keep = _cutoff(width, selectivity)
+    signatures = {
+        "hub": ("oo", ["D0", "Aux"]),
+        "noise": ("io", ["D0", "Aux"]),
+        "tail": ("ioo", ["S1", "Out", "Aux"]),
+    }
+    for k in range(1, rays + 1):
+        signatures[f"spoke{k}"] = ("ioo", ["D0", f"S{k}", "Aux"])
+    schema = Schema.from_signatures(signatures)
+
+    instance = DatabaseInstance(schema)
+    for i in range(width):
+        instance.add_tuple("hub", (f"h{i}", f"ha{i}"))
+        instance.add_tuple("noise", (f"h{i}", f"na{i}"))
+        if i < keep:
+            for k in range(1, rays + 1):
+                instance.add_tuple(f"spoke{k}", (f"h{i}", f"s{k}_{i}", f"sa{k}_{i}"))
+            instance.add_tuple("tail", (f"s1_{i}", f"z{i}", f"ta{i}"))
+
+    body = ["hub(X0, A0)"]
+    for k in range(1, rays + 1):
+        body.append(f"spoke{k}(X0, Y{k}, B{k})")
+    body.append("tail(Y1, Z, C0)")
+    query_text = "q(Z) <- " + ", ".join(body)
+    expected = frozenset({(f"z{i}",) for i in range(keep)})
+    return Example(
+        name=f"chaos-{rays}x{width}",
+        schema=schema,
+        instance=instance,
+        query_text=query_text,
+        expected_answers=expected,
+    )
+
+
 #: The scenario-generator registry: name -> parameterized Example factory.
 SCENARIOS: Dict[str, Callable[..., Example]] = {
     "running": running_example,
@@ -349,6 +401,7 @@ SCENARIOS: Dict[str, Callable[..., Example]] = {
     "diamond": diamond_example,
     "skewed-fanout": skewed_fanout_example,
     "cycle": cyclic_example,
+    "chaos": chaos_example,
 }
 
 

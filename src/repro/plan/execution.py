@@ -30,7 +30,7 @@ clock of a one-access-at-a-time execution — and shaping the outcome into
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Tuple
 
 from repro.plan.plan import QueryPlan
@@ -38,6 +38,7 @@ from repro.runtime.kernel import FixpointKernel
 from repro.runtime.policy import OrderedFastFail
 from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
+from repro.sources.resilience import ResilienceConfig, RetryStats
 from repro.sources.wrapper import SourceRegistry
 
 Row = Tuple[object, ...]
@@ -52,11 +53,13 @@ class ExecutionOptions:
         use_meta_cache: never repeat an access to a relation; read repeated
             access tuples from the meta-cache instead.
         max_accesses: optional safety bound on the number of accesses.
+        resilience: retry/timeout/breaker configuration for source reads.
     """
 
     fast_fail: bool = True
     use_meta_cache: bool = True
     max_accesses: Optional[int] = None
+    resilience: Optional[ResilienceConfig] = None
 
 
 @dataclass
@@ -71,6 +74,9 @@ class ExecutionResult:
         failed_at_position: the position at which the test failed, if any.
         elapsed_seconds: wall-clock duration of the execution.
         plan: the plan that was executed.
+        failed_relations: relations with a permanently failed access this
+            run; non-empty means ``answers`` may be a lower bound.
+        retry_stats: the run's resilience accounting.
     """
 
     answers: FrozenSet[Row]
@@ -80,6 +86,8 @@ class ExecutionResult:
     failed_at_position: Optional[int]
     elapsed_seconds: float
     plan: QueryPlan
+    failed_relations: Tuple[str, ...] = ()
+    retry_stats: RetryStats = field(default_factory=RetryStats)
 
     @property
     def total_accesses(self) -> int:
@@ -135,7 +143,11 @@ class FastFailingExecutor:
             use_meta_cache=self.options.use_meta_cache,
         )
         kernel = FixpointKernel(
-            policy, self.registry, log, max_accesses=self.options.max_accesses
+            policy,
+            self.registry,
+            log,
+            max_accesses=self.options.max_accesses,
+            resilience=self.options.resilience,
         )
         outcome = kernel.run()
         elapsed = time.perf_counter() - started
@@ -147,4 +159,6 @@ class FastFailingExecutor:
             failed_at_position=policy.failed_at,
             elapsed_seconds=elapsed,
             plan=self.plan,
+            failed_relations=outcome.failed_relations,
+            retry_stats=outcome.retry_stats,
         )

@@ -26,7 +26,7 @@ offers — to a sequential dispatcher, and shaping the kernel's outcome into
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.model.domains import AbstractDomain
@@ -35,6 +35,7 @@ from repro.query.conjunctive import ConjunctiveQuery
 from repro.runtime.kernel import FixpointKernel
 from repro.runtime.policy import EagerAllRelations
 from repro.sources.log import AccessLog
+from repro.sources.resilience import ResilienceConfig, RetryStats
 from repro.sources.wrapper import SourceRegistry
 
 Row = Tuple[object, ...]
@@ -51,6 +52,9 @@ class NaiveEvaluationResult:
         value_pool: the final pool ``B`` of values, per abstract domain.
         rounds: number of extraction bursts — delta passes of the runtime
             kernel that enumerated at least one new binding.
+        failed_relations: relations with a permanently failed access this
+            run; non-empty means ``answers`` may be a lower bound.
+        retry_stats: the run's resilience accounting.
     """
 
     answers: FrozenSet[Row]
@@ -58,6 +62,8 @@ class NaiveEvaluationResult:
     cache: Dict[str, Set[Row]]
     value_pool: Dict[AbstractDomain, Set[object]]
     rounds: int
+    failed_relations: Tuple[str, ...] = ()
+    retry_stats: RetryStats = field(default_factory=RetryStats)
 
     @property
     def total_accesses(self) -> int:
@@ -78,6 +84,7 @@ class NaiveEvaluator:
         schema: Schema,
         registry: SourceRegistry,
         max_accesses: Optional[int] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         """Create a naive evaluator.
 
@@ -87,10 +94,13 @@ class NaiveEvaluator:
             max_accesses: optional safety bound; when the bound is exceeded an
                 :class:`~repro.exceptions.ExecutionError` is raised (useful in
                 randomized experiments where the Cartesian products can grow).
+            resilience: retry/timeout/breaker configuration for source reads;
+                faults resolve to failure-flagged partial results either way.
         """
         self.schema = schema
         self.registry = registry
         self.max_accesses = max_accesses
+        self.resilience = resilience
 
     # ------------------------------------------------------------------------------
     def evaluate(
@@ -109,7 +119,11 @@ class NaiveEvaluator:
             log = AccessLog()
         policy = EagerAllRelations(self.schema, query)
         kernel = FixpointKernel(
-            policy, self.registry, log, max_accesses=self.max_accesses
+            policy,
+            self.registry,
+            log,
+            max_accesses=self.max_accesses,
+            resilience=self.resilience,
         )
         outcome = kernel.run()
         return NaiveEvaluationResult(
@@ -118,4 +132,6 @@ class NaiveEvaluator:
             cache=policy.cache,
             value_pool=policy.pool.sets,
             rounds=policy.rounds,
+            failed_relations=outcome.failed_relations,
+            retry_stats=outcome.retry_stats,
         )

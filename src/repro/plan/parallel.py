@@ -34,7 +34,7 @@ paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, Optional, Tuple
 
 from repro.exceptions import ExecutionError
@@ -44,6 +44,7 @@ from repro.runtime.policy import RealThreadPool, SimulatedParallel
 from repro.plan.plan import QueryPlan
 from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
+from repro.sources.resilience import ResilienceConfig, RetryStats
 from repro.sources.wrapper import SourceRegistry
 
 Row = Tuple[object, ...]
@@ -68,6 +69,9 @@ class DistillationResult:
         budget_exhausted: True when ``max_accesses`` stopped the dispatch
             loop before the plan reached its fixpoint; the answers derived
             up to that point are still reported.
+        failed_relations: relations with a permanently failed access this
+            run; non-empty means ``answers`` may be a lower bound.
+        retry_stats: the run's resilience accounting.
     """
 
     answers: FrozenSet[Row]
@@ -77,6 +81,8 @@ class DistillationResult:
     answer_times: Dict[Row, float]
     sequential_time: float
     budget_exhausted: bool = False
+    failed_relations: Tuple[str, ...] = ()
+    retry_stats: RetryStats = field(default_factory=RetryStats)
 
     @property
     def total_accesses(self) -> int:
@@ -109,6 +115,7 @@ class DistillationExecutor:
         max_accesses: Optional[int] = None,
         concurrency: str = "simulated",
         max_workers: int = 8,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         """Create a distillation executor.
 
@@ -139,6 +146,9 @@ class DistillationExecutor:
                 slow backends genuinely overlap.  Both modes compute the
                 same answers; only the clocks differ.
             max_workers: thread-pool size in real mode (ignored otherwise).
+            resilience: retry/timeout/breaker configuration for source
+                reads; faults resolve to failure-flagged partial results
+                either way.
         """
         if concurrency not in ("simulated", "real"):
             raise ExecutionError(
@@ -153,6 +163,7 @@ class DistillationExecutor:
         self.max_accesses = max_accesses
         self.concurrency = concurrency
         self.max_workers = max_workers
+        self.resilience = resilience
         #: Aggregate result of the most recent run (set when a run completes).
         self.last_result: Optional[DistillationResult] = None
 
@@ -216,6 +227,7 @@ class DistillationExecutor:
             log,
             max_accesses=self.max_accesses,
             answer_check_interval=self.answer_check_interval,
+            resilience=self.resilience,
         )
         outcome = yield from kernel.stream()
         result = DistillationResult(
@@ -226,6 +238,8 @@ class DistillationExecutor:
             answer_times=outcome.answer_times,
             sequential_time=outcome.sequential_time,
             budget_exhausted=outcome.budget_exhausted,
+            failed_relations=outcome.failed_relations,
+            retry_stats=outcome.retry_stats,
         )
         self.last_result = result
         return result

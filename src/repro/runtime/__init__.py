@@ -28,6 +28,7 @@ shape its outcome into their historical result types.
 """
 
 from repro.runtime.dispatch import (
+    AccessOutcome,
     Dispatcher,
     SequentialDispatcher,
     SimulatedParallelDispatcher,
@@ -52,6 +53,7 @@ from repro.runtime.policy import (
 
 __all__ = [
     "AccessBudget",
+    "AccessOutcome",
     "AccessRequest",
     "AnswerTracker",
     "Completion",

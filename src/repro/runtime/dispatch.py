@@ -24,6 +24,16 @@ perform the same access twice: the second claimant blocks until the first
 fulfils the claim and then reads the rows for free.  All cache mutation
 stays on the kernel's thread — worker threads only claim, read backends,
 and fulfil.
+
+Every backend read runs through the kernel's
+:class:`~repro.sources.resilience.ResilienceContext`, which owns retries,
+timeouts and per-relation circuit breakers.  An access that permanently
+fails abandons its meta-cache claim (a racing execution can retry instead
+of deadlocking on a dead claimant), refunds its budget grant, and resolves
+to a ``failed`` completion instead of raising — the run finishes with a
+failure-flagged partial result.  Retry backoff is priced through each
+dispatcher's authoritative clock: the simulated dispatchers charge
+``attempts × latency + backoff``, the thread-pool dispatcher really slept.
 """
 
 from __future__ import annotations
@@ -34,21 +44,57 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    ClassVar,
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.runtime.kernel import AccessBudget, AccessRequest, Completion
+from repro.sources.resilience import ResilienceContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.policy import SchedulingPolicy
-    from repro.sources.cache import MetaCache
     from repro.sources.log import AccessLog
     from repro.sources.wrapper import SourceRegistry, SourceWrapper
 
 Row = Tuple[object, ...]
 
 
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Resolution of one access request by :meth:`Dispatcher._acquire_rows`.
+
+    ``counted`` is True only for a successful, performed source read (the
+    caller must log it and charge its latency).  A gate-served hit has
+    ``counted=False, failed=False``; a permanently failed access has
+    ``counted=False, failed=True`` with empty rows.  ``attempts`` is how
+    many source reads were made (0 when a breaker short-circuited the
+    request) and ``backoff`` the retry delay a simulated dispatcher must
+    charge to its clock (the thread-pool dispatcher already slept it).
+    """
+
+    rows: FrozenSet[Row]
+    counted: bool
+    read_seconds: float
+    failed: bool = False
+    attempts: int = 1
+    backoff: float = 0.0
+
+
 class Dispatcher(abc.ABC):
     """The execution side of the kernel: turns requests into completions."""
+
+    #: True when the dispatcher's clock is the wall clock — retry backoff
+    #: must then really sleep instead of being charged to a simulation.
+    wall_clock: ClassVar[bool] = False
 
     def __init__(self, registry: "SourceRegistry", log: "AccessLog", budget: AccessBudget) -> None:
         self.registry = registry
@@ -57,8 +103,17 @@ class Dispatcher(abc.ABC):
         #: The policy whose gate/dedup settings govern this run (bound by
         #: the kernel right after construction).
         self.gate: Optional["SchedulingPolicy"] = None
+        #: Failure handling for this run's reads; the kernel replaces this
+        #: passthrough default with the configured context and binds its
+        #: clock to :meth:`now`.
+        self.resilience = ResilienceContext()
         #: Cumulative cost of the performed accesses run back to back.
         self.sequential_time = 0.0
+
+    def now(self) -> float:
+        """The dispatcher's current authoritative clock (breaker cool-downs
+        and retry pricing run on it)."""
+        return 0.0
 
     # -- kernel interface -----------------------------------------------------
     @abc.abstractmethod
@@ -99,18 +154,21 @@ class Dispatcher(abc.ABC):
         request: AccessRequest,
         wrapper: "SourceWrapper",
         charge_budget: bool = True,
-    ) -> Optional[Tuple[FrozenSet[Row], bool, float]]:
+    ) -> Optional[AccessOutcome]:
         """The claim protocol, implemented once for every dispatcher.
 
         Claim the binding on the session gate (a recorded or concurrently
         in-flight access is served locally), charge the budget, read the
-        backend, and record the result on the meta-cache — abandoning the
-        claim on every failure path so waiters are never stranded.
+        backend through the resilience context (retries, timeout, breaker),
+        and record the result on the meta-cache — abandoning the claim on
+        every failure path, including a permanently failed access, so
+        waiters are never stranded on a dead claimant: they re-contend and
+        may retry the access themselves.
 
-        Returns ``(rows, counted, read_seconds)`` where ``counted`` is
-        False for a gate-served hit and ``read_seconds`` times only the
-        backend read (zero for hits — claim waits are not backend work);
-        returns ``None`` when the budget denied the access.
+        Returns the :class:`AccessOutcome`, or ``None`` when the budget
+        denied the access.  A failed outcome's grant is refunded here when
+        this call charged the budget (batch dispatch refunds at the
+        coordinator instead).
         """
         assert self.gate is not None, "dispatcher used before bind_dispatcher"
         meta = self.gate.meta_for(request.relation)
@@ -118,23 +176,47 @@ class Dispatcher(abc.ABC):
         if meta is not None and self.gate.dedup_accesses:
             served = meta.claim(request.binding)
             if served is not None:
-                return served, False, 0.0
+                return AccessOutcome(served, counted=False, read_seconds=0.0)
             owns_claim = True
         if charge_budget and self.budget.grant(1) < 1:
             if owns_claim:
                 meta.abandon(request.binding)
             return None
-        read_started = time.perf_counter()
         try:
-            rows = wrapper.lookup(request.binding)
+            performed = self.resilience.perform(
+                request.relation,
+                request.binding,
+                lambda: wrapper.lookup(request.binding),
+            )
         except BaseException:
+            # Non-operational errors (programming bugs) still propagate —
+            # but never with the claim held.
             if owns_claim:
                 meta.abandon(request.binding)
             raise
-        read_seconds = time.perf_counter() - read_started
+        if performed.failed:
+            if owns_claim:
+                meta.abandon(request.binding)
+            if charge_budget:
+                self.budget.refund(1)
+                self.resilience.note_refund()
+            return AccessOutcome(
+                frozenset(),
+                counted=False,
+                read_seconds=0.0,
+                failed=True,
+                attempts=performed.attempts,
+                backoff=performed.backoff,
+            )
         if meta is not None:
-            meta.record(request.binding, rows)
-        return rows, True, read_seconds
+            meta.record(request.binding, performed.rows)
+        return AccessOutcome(
+            performed.rows,
+            counted=True,
+            read_seconds=performed.read_seconds,
+            attempts=performed.attempts,
+            backoff=performed.backoff,
+        )
 
     def _recorded_rows(self, request: AccessRequest) -> Optional[FrozenSet[Row]]:
         """Non-claiming gate probe: the rows when the binding is already
@@ -174,6 +256,9 @@ class SequentialDispatcher(Dispatcher):
     def has_work(self) -> bool:
         return bool(self._queue)
 
+    def now(self) -> float:
+        return self.clock
+
     def step(self) -> Optional[List[Completion]]:
         """Drain the whole queue back to back.
 
@@ -183,6 +268,11 @@ class SequentialDispatcher(Dispatcher):
         not one full offer pass.  On budget denial, the completions made
         so far are returned first; the next step finds the surviving head
         denied again with nothing done and reports the stall.
+
+        Retried accesses cost ``attempts × latency + backoff`` on the
+        cumulative clock — every attempt occupied the source, every
+        backoff waited in line.  Failed accesses charge the same but are
+        never logged; short-circuited ones (open breaker) cost nothing.
         """
         if not self._queue:
             return []
@@ -194,16 +284,24 @@ class SequentialDispatcher(Dispatcher):
             if outcome is None:
                 return completions if completions else None
             self._queue.popleft()
-            rows, counted, _ = outcome
-            if not counted:
-                completions.append(Completion(request, rows, self.clock, counted=False))
+            if not outcome.counted and not outcome.failed:
+                completions.append(
+                    Completion(request, outcome.rows, self.clock, counted=False)
+                )
                 continue
             latency = self.registry.latency_of(request.relation, self.default_latency)
-            finish = self.clock + latency
-            wrapper.record_access(request.binding, rows, self.log, simulated_time=finish)
-            self.clock = finish
-            self.sequential_time += latency
-            completions.append(Completion(request, rows, finish, counted=True))
+            cost = outcome.attempts * latency + outcome.backoff
+            self.clock += cost
+            self.sequential_time += cost
+            if outcome.failed:
+                completions.append(
+                    Completion(request, frozenset(), self.clock, counted=False, failed=True)
+                )
+                continue
+            wrapper.record_access(
+                request.binding, outcome.rows, self.log, simulated_time=self.clock
+            )
+            completions.append(Completion(request, outcome.rows, self.clock, counted=True))
         return completions
 
     def total_time(self) -> float:
@@ -220,6 +318,15 @@ class _WrapperState:
     busy_until: float = 0.0
     #: True while the head of the queue has a completion event in the heap.
     scheduled: bool = False
+    #: A resolved access (rows already read, retries already priced) whose
+    #: extended finish time is still in the event heap; delivered — and, if
+    #: counted, logged — when that event pops, so completions leave the
+    #: heap in monotone clock order even when retries stretch an access.
+    pending: Optional[Completion] = None
+    #: True once the budget denied this wrapper's head: the queue stays (it
+    #: is the work the budget refuses to fund) but is never re-scheduled —
+    #: grants can only shrink for the rest of the run.
+    stalled: bool = False
 
 
 class SimulatedParallelDispatcher(Dispatcher):
@@ -259,9 +366,14 @@ class SimulatedParallelDispatcher(Dispatcher):
         #: Completions resolved without wrapper work (meta-cache hits found
         #: at schedule time), delivered by the next :meth:`step`.
         self._ready: List[Completion] = []
+        #: The simulation's current clock (latest event seen), for breakers.
+        self._now = 0.0
 
     def submit(self, request: AccessRequest) -> None:
         self._pending[request.relation].append(request)
+
+    def now(self) -> float:
+        return self._now
 
     def refill(self, now: float) -> None:
         """Move backlog into free queue slots and schedule idle wrappers.
@@ -272,6 +384,7 @@ class SimulatedParallelDispatcher(Dispatcher):
         event is scheduled for it: a served hit costs no wrapper time, so
         it must never occupy a latency slot of the simulation.
         """
+        self._now = max(self._now, now)
         for name, state in self._wrappers.items():
             backlog = self._pending[name]
             while True:
@@ -281,9 +394,12 @@ class SimulatedParallelDispatcher(Dispatcher):
                     break
                 rows = self._recorded_rows(state.queue[0])
                 if rows is None:
-                    start = max(state.busy_until, now)
-                    state.scheduled = True
-                    heapq.heappush(self._events, (start + state.latency, name))
+                    # A stalled wrapper's head stays queued but is never
+                    # re-scheduled: the budget that denied it cannot grow.
+                    if not state.stalled:
+                        start = max(state.busy_until, now)
+                        state.scheduled = True
+                        heapq.heappush(self._events, (start + state.latency, name))
                     break
                 request = state.queue.popleft()
                 self._ready.append(Completion(request, rows, now, counted=False))
@@ -296,7 +412,8 @@ class SimulatedParallelDispatcher(Dispatcher):
     def relation_active(self, relation: str) -> bool:
         state = self._wrappers.get(relation)
         return bool(
-            (state is not None and state.queue) or self._pending.get(relation)
+            (state is not None and (state.queue or state.pending is not None))
+            or self._pending.get(relation)
         )
 
     def step(self) -> Optional[List[Completion]]:
@@ -304,28 +421,80 @@ class SimulatedParallelDispatcher(Dispatcher):
             ready, self._ready = self._ready, []
             return ready
         if not self._events:
+            # Nothing in flight.  If a wrapper stalled on the budget, the
+            # work the kernel still sees is exactly the work the budget
+            # refuses to fund — report the stall (the kernel only calls
+            # step() while has_work(), so remaining work is guaranteed).
+            if any(state.stalled for state in self._wrappers.values()):
+                return None
             return []
         finish, relation = heapq.heappop(self._events)
+        self._now = max(self._now, finish)
         state = self._wrappers[relation]
         state.scheduled = False
-        request = state.queue[0]
         wrapper = self.registry.wrapper(relation)
+        if state.pending is not None:
+            # A retried access resolved earlier; its extended finish event
+            # just popped, so deliver (and log) it now — in clock order.
+            completion, state.pending = state.pending, None
+            if completion.counted:
+                wrapper.record_access(
+                    completion.request.binding,
+                    completion.rows,
+                    self.log,
+                    simulated_time=completion.finish_time,
+                )
+            return [completion]
+        request = state.queue[0]
         outcome = self._acquire_rows(request, wrapper)
         if outcome is None:
-            return None
+            # The budget denied this wrapper's head.  Other events may still
+            # be in the heap — notably retry-stretched pending completions
+            # whose accesses were already performed, charged and recorded on
+            # the meta-cache; they must be delivered (in clock order), not
+            # dropped with the run's answers and budget accounting short.
+            # The denied head stalls (it can never be funded again); the
+            # stall is only reported once the heap has drained.
+            state.stalled = True
+            return [] if self._events else None
         state.queue.popleft()
-        rows, counted, _ = outcome
-        if not counted:
+        if not outcome.counted and not outcome.failed:
             # A concurrent execution recorded the binding between schedule
             # and completion: the rows are served, the wrapper's busy time
             # and the budget stay untouched.
-            return [Completion(request, rows, finish, counted=False)]
-        # The heap clock is the authoritative one: the record is stamped
-        # with this event's finish time, not count × latency.
-        wrapper.record_access(request.binding, rows, self.log, simulated_time=finish)
-        state.busy_until = finish
-        self.sequential_time += state.latency
-        return [Completion(request, rows, finish, counted=True)]
+            return [Completion(request, outcome.rows, finish, counted=False)]
+        if outcome.attempts == 0:
+            # Short-circuited by an open breaker: the wrapper did no work,
+            # so its busy time and the sequential cost stay untouched.
+            return [Completion(request, frozenset(), finish, counted=False, failed=True)]
+        # Retries stretch the access beyond its scheduled one-latency slot:
+        # every attempt occupied the wrapper, every backoff waited in line.
+        extra = (outcome.attempts - 1) * state.latency + outcome.backoff
+        completion_time = finish + extra
+        state.busy_until = completion_time
+        self.sequential_time += outcome.attempts * state.latency + outcome.backoff
+        completion = Completion(
+            request,
+            outcome.rows if not outcome.failed else frozenset(),
+            completion_time,
+            counted=not outcome.failed,
+            failed=outcome.failed,
+        )
+        if extra <= 0:
+            if completion.counted:
+                # The heap clock is the authoritative one: the record is
+                # stamped with this event's finish time, not count × latency.
+                wrapper.record_access(
+                    request.binding, completion.rows, self.log, simulated_time=completion_time
+                )
+            return [completion]
+        # Deliver via the heap so later events of other wrappers cannot be
+        # absorbed after this one with an earlier timestamp (the kernel
+        # enforces a monotone clock).
+        state.pending = completion
+        state.scheduled = True
+        heapq.heappush(self._events, (completion_time, relation))
+        return []
 
     def total_time(self) -> float:
         return max(
@@ -370,9 +539,14 @@ class ThreadPoolDispatcher(Dispatcher):
         self._pool: Optional[ThreadPoolExecutor] = None
         self._started = time.perf_counter()
 
+    wall_clock: ClassVar[bool] = True
+
     # ------------------------------------------------------------------------------
     def submit(self, request: AccessRequest) -> None:
         self._backlog[request.relation].append(request)
+
+    def now(self) -> float:
+        return time.perf_counter() - self._started
 
     def refill(self, now: float) -> None:
         """Ship one backlog batch per idle source, within the budget."""
@@ -411,16 +585,22 @@ class ThreadPoolDispatcher(Dispatcher):
             outcomes, duration = future.result()
             self.sequential_time += duration
             wrapper = self.registry.wrapper(name)
-            for request, rows, counted in outcomes:
-                if counted:
+            for request, outcome in outcomes:
+                if outcome.counted:
                     wrapper.record_access(
-                        request.binding, rows, self.log, simulated_time=now
+                        request.binding, outcome.rows, self.log, simulated_time=now
                     )
                 else:
-                    # Served by the gate without touching the source: give
-                    # the unused budget reservation back.
+                    # Served by the gate — or permanently failed — without
+                    # a recorded access: give the budget reservation back.
                     self.budget.refund(1)
-                completions.append(Completion(request, rows, now, counted=counted))
+                    if outcome.failed:
+                        self.resilience.note_refund()
+                completions.append(
+                    Completion(
+                        request, outcome.rows, now, counted=outcome.counted, failed=outcome.failed
+                    )
+                )
         return completions
 
     def total_time(self) -> float:
@@ -434,23 +614,23 @@ class ThreadPoolDispatcher(Dispatcher):
     # ------------------------------------------------------------------------------
     def _perform_batch(
         self, wrapper: "SourceWrapper", batch: List[AccessRequest]
-    ) -> Tuple[List[Tuple[AccessRequest, FrozenSet[Row], bool]], float]:
+    ) -> Tuple[List[Tuple[AccessRequest, AccessOutcome]], float]:
         """Worker-thread body: claim, read and fulfil each binding in turn.
 
         Bindings are handled one at a time (not via ``lookup_many``) so the
         session gate can dedup each against concurrent executions; a claim
-        is fulfilled immediately after its read, never held across another
-        claim.  Only the backend reads are timed — time spent waiting out
-        another execution's in-flight claim is not sequential work and must
+        is fulfilled immediately after its read — or abandoned on failure —
+        never held across another claim.  Only the backend reads are timed:
+        time spent waiting out another execution's in-flight claim, and
+        retry backoff really slept here, is not sequential work and must
         not inflate ``sequential_time`` (nor the reported speedup).
         """
-        outcomes: List[Tuple[AccessRequest, FrozenSet[Row], bool]] = []
+        outcomes: List[Tuple[AccessRequest, AccessOutcome]] = []
         read_seconds = 0.0
         for request in batch:
             # The budget was charged for the whole batch at submit time.
-            rows, counted, seconds = self._acquire_rows(
-                request, wrapper, charge_budget=False
-            )
-            read_seconds += seconds
-            outcomes.append((request, rows, counted))
+            outcome = self._acquire_rows(request, wrapper, charge_budget=False)
+            assert outcome is not None  # charge_budget=False never denies
+            read_seconds += outcome.read_seconds
+            outcomes.append((request, outcome))
         return outcomes, read_seconds

@@ -38,6 +38,7 @@ from typing import (
 )
 
 from repro.exceptions import ExecutionError
+from repro.sources.resilience import ResilienceConfig, ResilienceContext, RetryStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.policy import SchedulingPolicy
@@ -70,12 +71,18 @@ class Completion:
     source (the session meta-cache answered the binding, possibly after
     waiting out another session's in-flight access): such completions still
     feed the caches but are not logged, charged to the budget, or timed.
+
+    ``failed`` marks an access that permanently failed (retries exhausted,
+    source down, or breaker open): its rows are empty, it is never counted,
+    its budget grant has been refunded, and the kernel reports the run as
+    incomplete.
     """
 
     request: AccessRequest
     rows: FrozenSet[Row]
     finish_time: float
     counted: bool = True
+    failed: bool = False
 
 
 @dataclass(frozen=True)
@@ -132,28 +139,43 @@ class AccessBudget:
     partially filled batch is not a denial until the remainder is asked for
     again — which is exactly when an execution has work left it may not
     perform.
+
+    The monotone counters ``total_granted`` and ``refunded`` support the
+    refund invariant the resilience layer is audited against: every grant
+    is either consumed by a counted (logged) access or refunded — a
+    gate-served batch slot, or an access that permanently failed — so
+    ``total_granted - refunded`` always equals the number of accesses
+    recorded against the sources.
     """
 
     def __init__(self, limit: Optional[int]) -> None:
         self.limit = limit
+        #: Net outstanding grants (refunds subtract); drives the limit math.
         self.granted = 0
         self.denied = False
+        #: Monotone counters for the refund invariant.
+        self.total_granted = 0
+        self.refunded = 0
 
     def grant(self, want: int = 1) -> int:
         """Reserve up to ``want`` accesses; returns how many were granted."""
         if want <= 0:
             return 0
         if self.limit is None:
+            self.total_granted += want
             return want
         allowance = min(want, self.limit - self.granted)
         if allowance <= 0:
             self.denied = True
             return 0
         self.granted += allowance
+        self.total_granted += allowance
         return allowance
 
     def refund(self, count: int = 1) -> None:
-        """Return unused grants (an access served locally after reservation)."""
+        """Return unused grants (an access served locally after reservation,
+        or one that failed and must not count against the bound)."""
+        self.refunded += count
         if self.limit is not None:
             self.granted = max(0, self.granted - count)
 
@@ -173,6 +195,11 @@ class KernelOutcome:
             back to back (sum of per-access latencies / batch durations).
         budget_exhausted: True when ``max_accesses`` stopped the dispatch
             loop before the fixpoint was reached.
+        failed_relations: relations with at least one permanently failed
+            access this run (sorted); non-empty means the fixpoint may not
+            have been reached and ``answers`` is a lower bound.
+        retry_stats: the run's resilience accounting (attempts, retries,
+            failures, breaker trips, refunds, backoff).
     """
 
     answers: FrozenSet[Row]
@@ -181,6 +208,13 @@ class KernelOutcome:
     total_time: float = 0.0
     sequential_time: float = 0.0
     budget_exhausted: bool = False
+    failed_relations: Tuple[str, ...] = ()
+    retry_stats: RetryStats = field(default_factory=RetryStats)
+
+    @property
+    def source_failure(self) -> bool:
+        """True when any access permanently failed during the run."""
+        return bool(self.failed_relations)
 
 
 class FixpointKernel:
@@ -203,6 +237,7 @@ class FixpointKernel:
         log: "AccessLog",
         max_accesses: Optional[int] = None,
         answer_check_interval: Optional[int] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         """Wire a kernel run.
 
@@ -215,6 +250,10 @@ class FixpointKernel:
                 answer checks; ``None`` disables intermediate checks (the
                 query is still evaluated once at the end), which is what
                 the non-streaming strategies use.
+            resilience: retry/timeout/breaker configuration.  A context is
+                created even when ``None`` so that source faults always
+                resolve to failure-flagged partial results instead of
+                killing the run.
         """
         self.policy = policy
         self.registry = registry
@@ -223,6 +262,9 @@ class FixpointKernel:
         self.answer_check_interval = answer_check_interval
         self.dispatcher = policy.make_dispatcher(registry, log, self.budget)
         policy.bind_dispatcher(self.dispatcher)
+        self.resilience = ResilienceContext(resilience)
+        self.resilience.bind_clock(self.dispatcher.now, real_sleep=self.dispatcher.wall_clock)
+        self.dispatcher.resilience = self.resilience
         self.tracker = AnswerTracker(policy.evaluate)
         #: The kernel's monotone clock: the latest completion absorbed.
         self.clock = 0.0
@@ -299,6 +341,8 @@ class FixpointKernel:
             total_time=total_time,
             sequential_time=self.dispatcher.sequential_time,
             budget_exhausted=budget_exhausted,
+            failed_relations=self.resilience.snapshot_failed_relations(),
+            retry_stats=self.resilience.stats,
         )
 
     def _offer_fixpoint(self) -> None:
@@ -321,4 +365,7 @@ class FixpointKernel:
                 "the dispatcher violated monotonicity"
             )
         self.clock = max(self.clock, completion.finish_time)
+        if completion.failed:
+            # A failed access contributes no rows; only the clock advances.
+            return
         self.policy.absorb(completion)

@@ -184,7 +184,12 @@ class EagerAllRelations(SchedulingPolicy):
 
     def offer(self, emit: Emit) -> bool:
         emitted = False
+        excluded = self.dispatcher.resilience.excluded
         for relation in self.schema:
+            if excluded(relation.name):
+                # Open breaker / dead source: leave the relation's delta
+                # unconsumed so a half-open recovery can resume it.
+                continue
             for binding in self._fresh_bindings(relation):
                 emitted = True
                 emit(AccessRequest(relation.name, relation.name, binding))
@@ -248,9 +253,20 @@ class PlanPolicy(SchedulingPolicy):
         serve_from_meta: bool = True,
     ) -> bool:
         """Offer the fresh bindings of the given caches; True when a
-        meta-cache hit changed some cache's contents."""
+        meta-cache hit changed some cache's contents.
+
+        Caches over a relation whose circuit breaker is open (or whose
+        source is known permanently down) are skipped *without consuming
+        their binding deltas*: if the breaker half-opens later in the run
+        (or a session-level retry succeeds), the pending bindings are
+        offered then; otherwise the run ends incomplete with the relation
+        in ``failed_relations``.
+        """
         changed = False
+        excluded = self.dispatcher.resilience.excluded
         for cache in caches:
+            if excluded(cache.relation.name):
+                continue
             # The generator yields each binding of this cache exactly once
             # over the whole run, so no dedup set is needed here.
             for binding in self.generators[cache.name].fresh_bindings():

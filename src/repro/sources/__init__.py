@@ -28,6 +28,23 @@ from repro.sources.backend import (
 )
 from repro.sources.cache import AccessTable, CacheDatabase, CacheTable, MetaCache
 from repro.sources.log import AccessLog
+from repro.sources.resilience import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+    FaultSchedule,
+    FlakyBackend,
+    ResilienceConfig,
+    ResilienceContext,
+    RetryPolicy,
+    RetryStats,
+    SourceFault,
+    SourceTimeoutError,
+    SourceUnavailableError,
+    TransientSourceError,
+    make_flaky,
+)
 from repro.sources.wrapper import SourceRegistry, SourceWrapper
 
 __all__ = [
@@ -36,14 +53,29 @@ __all__ = [
     "AccessTable",
     "AccessTuple",
     "BACKEND_KINDS",
+    "BreakerConfig",
+    "BreakerState",
     "CacheDatabase",
     "CacheTable",
     "CallableBackend",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FaultSchedule",
+    "FlakyBackend",
     "InMemoryBackend",
     "MetaCache",
+    "ResilienceConfig",
+    "ResilienceContext",
+    "RetryPolicy",
+    "RetryStats",
     "SQLiteBackend",
     "SourceBackend",
+    "SourceFault",
     "SourceRegistry",
+    "SourceTimeoutError",
+    "SourceUnavailableError",
     "SourceWrapper",
+    "TransientSourceError",
     "build_backend",
+    "make_flaky",
 ]

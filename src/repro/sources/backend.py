@@ -123,6 +123,7 @@ class SQLiteBackend(SourceBackend):
         self.schema = schema
         self._lock = threading.Lock()
         self._connection = sqlite3.connect(path, check_same_thread=False)
+        self._closed = False
         self._nullary_present = False
         self._table = f'"rel_{schema.name}"'
         arity = schema.arity
@@ -188,6 +189,11 @@ class SQLiteBackend(SourceBackend):
             return [self._lookup_locked(tuple(binding)) for binding in bindings]
 
     def _lookup_locked(self, binding: Binding) -> FrozenSet[Row]:
+        if self._closed:
+            raise AccessError(
+                f"SQLite backend for {self.schema.name!r} is closed; "
+                "no further accesses are possible"
+            )
         if self.schema.arity == 0:
             return frozenset({()}) if self._nullary_present else frozenset()
         if binding:
@@ -197,8 +203,18 @@ class SQLiteBackend(SourceBackend):
         return frozenset(tuple(row) for row in cursor.fetchall())
 
     def close(self) -> None:
+        """Release the connection; safe to call repeatedly, and after a
+        backend error mid-query (double close and close-after-error are
+        no-ops — the failure paths of the resilience layer may tear an
+        engine down while accesses are still erroring out)."""
         with self._lock:
-            self._connection.close()
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._connection.close()
+            except sqlite3.Error:  # pragma: no cover - defensive
+                pass
 
 
 class CallableBackend(SourceBackend):

@@ -37,12 +37,17 @@ from typing import (
     Union,
 )
 
+from typing import TYPE_CHECKING
+
 from repro.exceptions import AccessError
 from repro.model.instance import DatabaseInstance, RelationInstance
 from repro.model.schema import RelationSchema, Schema
 from repro.sources.access import AccessRecord, AccessTuple, validate_binding
 from repro.sources.backend import BackendLike, SourceBackend, as_backend, build_backend
 from repro.sources.log import AccessLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sources.resilience import FaultSchedule
 
 Row = Tuple[object, ...]
 Binding = Tuple[object, ...]
@@ -249,9 +254,27 @@ class SourceRegistry:
         return sum(wrapper.access_count for wrapper in self._wrappers.values())
 
     def close(self) -> None:
-        """Close every wrapper's backend (e.g. SQLite connections)."""
+        """Close every wrapper's backend (e.g. SQLite connections).
+
+        Idempotent, and robust to backends that error while closing: one
+        broken backend must not keep the others' resources alive.
+        """
         for wrapper in self._wrappers.values():
-            wrapper.backend.close()
+            try:
+                wrapper.backend.close()
+            except Exception:
+                continue
+
+    def inject_faults(self, schedule: "FaultSchedule") -> None:
+        """Wrap every wrapper's backend in a
+        :class:`~repro.sources.resilience.FlakyBackend` with the given
+        deterministic fault schedule (chaos testing / the CLI ``--fail``
+        flag).  Layers compose: injecting twice stacks two schedules.
+        """
+        from repro.sources.resilience import FlakyBackend
+
+        for wrapper in self._wrappers.values():
+            wrapper.backend = FlakyBackend(wrapper.backend, schedule)
 
     @classmethod
     def over(

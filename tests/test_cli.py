@@ -163,3 +163,74 @@ def test_workload_subcommand_json(capsys) -> None:
 def test_workload_subcommand_rejects_unknown_scenario(capsys) -> None:
     assert main(["workload", "--mix", "star,moebius"]) == 2
     assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_run_with_injected_faults_reports_completeness(capsys) -> None:
+    # Faults + default retries: the run returns (exit 0) and the JSON tells
+    # the truth about completeness either way.
+    assert main(
+        [
+            "run",
+            "--scenario",
+            "chaos:width=6,rays=2",
+            "--fail",
+            "rate=0.3,seed=11",
+            "--json",
+        ]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload["complete"], bool)
+    assert payload["retry_stats"]["attempts"] >= payload["total_accesses"]
+    if not payload["complete"]:
+        assert payload["termination"] == "source_failure"
+        assert payload["failed_relations"]
+
+
+def test_run_fail_shorthand_rate_and_explicit_retries(capsys) -> None:
+    assert main(
+        [
+            "run",
+            "--scenario",
+            "star:rays=2,width=4",
+            "--fail",
+            "0.2",
+            "--retries",
+            "3",
+            "--timeout",
+            "5.0",
+            "--json",
+        ]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["retry_stats"]["failures"] == 0 or not payload["complete"]
+
+
+def test_bad_fail_spec_is_a_clean_error(capsys) -> None:
+    assert main(["run", "--example", "--fail", "rate=lots"]) == 2
+    assert "--fail" in capsys.readouterr().err
+    assert main(["run", "--example", "--fail", "bogus_key=1"]) == 2
+    assert "known keys" in capsys.readouterr().err
+
+
+def test_workload_under_faults_verifies_completeness_contract(capsys) -> None:
+    assert main(
+        [
+            "workload",
+            "--mix",
+            "star,chaos",
+            "--repeat",
+            "2",
+            "--fail",
+            "rate=0.3,seed=7",
+            "--retries",
+            "2",
+            "--json",
+        ]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    # Complete results matched their expected answers (verified=true); any
+    # fault casualties are counted, not hidden.
+    assert payload["verified"] is True
+    assert payload["incomplete_results"] >= 0
+    for per_query in payload["per_query"]:
+        assert isinstance(per_query["complete"], bool)

@@ -10,7 +10,10 @@ import threading
 import pytest
 
 from repro import Engine
-from repro.examples import chain_example, mixed_workload
+from repro.examples import chain_example, mixed_workload, star_example
+from repro.model.schema import RelationSchema
+from repro.sources.cache import MetaCache
+from repro.sources.resilience import FaultSchedule, RetryPolicy
 from repro.sources.wrapper import SourceRegistry
 
 BACKENDS = ("memory", "sqlite", "callable")
@@ -118,6 +121,116 @@ def test_workload_report_counts_hits_and_peak() -> None:
     payload = report.to_dict()
     assert payload["queries"] == 4
     assert payload["max_parallel"] == 4
+
+
+def test_dying_claimant_does_not_deadlock_waiters() -> None:
+    # A worker that claims an access and dies mid-flight must abandon the
+    # claim so blocked readers re-contend instead of waiting forever.
+    meta = MetaCache(RelationSchema.build("r", "io", ["A", "B"]))
+    assert meta.claim(("x",)) is None  # this thread owns the access now
+
+    outcomes: list = []
+
+    def waiter() -> None:
+        served = meta.claim(("x",))
+        if served is None:
+            # Ownership was handed over: this thread performs the access.
+            meta.record(("x",), frozenset({("x", "y")}))
+            served = frozenset({("x", "y")})
+        outcomes.append(served)
+
+    threads = [threading.Thread(target=waiter) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    # The owner dies without recording: abandon must wake every waiter.
+    meta.abandon(("x",))
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert not any(thread.is_alive() for thread in threads), "waiters deadlocked"
+    assert outcomes == [frozenset({("x", "y")})] * 4
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+def test_failed_claims_do_not_deadlock_concurrent_queries(backend: str) -> None:
+    # Racing identical queries over flaky sources: a claimant whose access
+    # permanently fails abandons the claim, so a racing thread retries the
+    # access itself (its per-binding attempt counter has advanced past the
+    # injected faults) instead of deadlocking on the dead claimant.
+    example = star_example(rays=2, width=6)
+    registry = SourceRegistry(example.instance, backend=backend)
+    registry.inject_faults(FaultSchedule(seed=17, transient_rate=0.6, max_consecutive=2))
+    with Engine(example.schema, registry) as engine:
+        done = threading.Event()
+
+        def run() -> None:
+            try:
+                results.extend(
+                    engine.execute_many([example.query_text] * 6, max_parallel=6)
+                )
+            finally:
+                done.set()
+
+        results: list = []
+        worker = threading.Thread(target=run, daemon=True)
+        worker.start()
+        assert done.wait(timeout=60.0), "concurrent faulty queries deadlocked"
+        worker.join(timeout=10.0)
+    assert len(results) == 6
+    for result in results:
+        assert result.answers <= example.expected_answers
+        if result.complete:
+            assert result.answers == example.expected_answers
+
+
+def test_session_retries_recover_accesses_a_failed_query_abandoned() -> None:
+    # Every binding fails exactly once, then succeeds.  With no retry
+    # policy, a failed access abandons its claim instead of poisoning it,
+    # so re-running the query retries exactly the failed accesses (their
+    # per-binding attempt counters have burned past the fault) while the
+    # successful ones are served from the session meta-caches.  One query
+    # level recovers per replay; the session converges to the complete
+    # answer without ever repeating a *successful* access.
+    example = star_example(rays=2, width=4)
+    registry = SourceRegistry(example.instance)
+    registry.inject_faults(FaultSchedule(seed=23, transient_rate=1.0, max_consecutive=1))
+    with Engine(example.schema, registry) as engine:
+        results = []
+        for _ in range(8):
+            results.append(engine.execute(example.query_text))
+            if results[-1].complete:
+                break
+        distinct = engine.session.log.access_set()
+        total = engine.session.log.total_accesses
+    assert not results[0].complete
+    assert results[-1].complete and 1 < len(results) <= 8
+    assert results[-1].answers == example.expected_answers
+    # Recovery never repeated an access that had already succeeded.
+    assert total == len(distinct)
+
+
+def test_faulty_concurrent_workload_is_deterministic_with_retries() -> None:
+    # With a seeded schedule and enough retries, concurrent replays settle
+    # on the same answers and access counts run after run.
+    workload = mixed_workload(("star", "chain"), repeat=2)
+    observed = set()
+    for _ in range(3):
+        registry = SourceRegistry(workload.instance)
+        registry.inject_faults(FaultSchedule(seed=5, transient_rate=0.3))
+        with Engine(workload.schema, registry) as engine:
+            results = engine.execute_many(
+                workload.query_texts(),
+                max_parallel=4,
+                retry=RetryPolicy(max_attempts=4, base_delay=0.0),
+            )
+            observed.add(
+                (
+                    tuple(frozenset(result.answers) for result in results),
+                    tuple(result.complete for result in results),
+                )
+            )
+    assert len(observed) == 1
+    _answers, complete = next(iter(observed))
+    assert all(complete)
 
 
 def test_engine_is_a_context_manager() -> None:

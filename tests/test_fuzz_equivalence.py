@@ -1,0 +1,214 @@
+"""Differential fuzzing: strategies × backends × fault schedules must agree.
+
+A seeded generator draws random scenario topologies (from the
+:data:`repro.examples.SCENARIOS` builders), random parameters and random
+per-relation latencies, then asserts:
+
+* all three strategies return the scenario's expected answers;
+* for each strategy, the memory, SQLite and callable backends produce
+  *identical* answers and access counts (the backend is a transport, never
+  a semantics);
+* decorating every backend with a fault-free
+  :class:`~repro.sources.resilience.FlakyBackend` — with retry, timeout
+  and breaker knobs all switched on — changes nothing: same answers, same
+  access counts, same per-source breakdown, byte-identical result payload;
+* under injected transient faults with retries, every strategy still
+  returns a result and the completeness contract holds (complete ⇒ the
+  fault-free answers; diverging answers ⇒ flagged incomplete).
+
+The fixed-seed subset runs in CI; the full sweep is `pytest -m slow`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Dict, Tuple
+
+import pytest
+
+from repro import Engine
+from repro.examples import Example, make_scenario
+from repro.sources.resilience import BreakerConfig, FaultSchedule, RetryPolicy
+from repro.sources.wrapper import SourceRegistry
+
+STRATEGIES = ("naive", "fast_fail", "distillation")
+BACKENDS = ("memory", "sqlite", "callable")
+
+#: Seeds run on every CI invocation (fast, deterministic).
+CI_SEEDS = tuple(range(8))
+#: The full sweep (`pytest -m slow`): ~25 generated cases.
+FULL_SEEDS = tuple(range(8, 25))
+
+
+def generate_case(seed: int) -> Tuple[Example, Dict[str, float]]:
+    """One random scenario: topology, parameters and per-relation latencies.
+
+    Parameter ranges are sized so the naive strategy's all-relations
+    extraction stays tractable (its value-pool cross products grow fast).
+    """
+    rng = random.Random(seed)
+    kind = rng.choice(
+        ["chain", "star", "diamond", "skewed-fanout", "cycle", "wide-fanout", "chaos"]
+    )
+    if kind == "chain":
+        example = make_scenario(kind, length=rng.randint(1, 3), width=rng.randint(1, 5))
+    elif kind == "star":
+        example = make_scenario(
+            kind,
+            rays=rng.randint(1, 4),
+            width=rng.randint(1, 7),
+            selectivity=rng.choice([0.25, 0.5, 1.0]),
+        )
+    elif kind == "diamond":
+        example = make_scenario(
+            kind, width=rng.randint(1, 7), selectivity=rng.choice([0.5, 1.0])
+        )
+    elif kind == "skewed-fanout":
+        keys = rng.randint(1, 4)
+        example = make_scenario(
+            kind,
+            keys=keys,
+            hot_keys=rng.randint(0, keys),
+            hot_fanout=rng.randint(1, 6),
+            cold_fanout=rng.randint(1, 3),
+        )
+    elif kind == "cycle":
+        size = rng.randint(2, 8)
+        example = make_scenario(kind, size=size, seeds=rng.randint(1, min(3, size)))
+    elif kind == "wide-fanout":
+        example = make_scenario(kind, width=rng.randint(1, 4), fanout=rng.randint(1, 5))
+    else:
+        example = make_scenario(
+            kind,
+            width=rng.randint(1, 6),
+            rays=rng.randint(1, 3),
+            selectivity=rng.choice([0.5, 1.0]),
+        )
+    latencies = {
+        relation.name: rng.choice([0.0, 0.005, 0.01, 0.02])
+        for relation in example.schema
+    }
+    return example, latencies
+
+
+def _registry(example: Example, latencies: Dict[str, float], backend: str) -> SourceRegistry:
+    return SourceRegistry(
+        example.instance, per_relation_latency=latencies, backend=backend
+    )
+
+
+def _execute(example: Example, registry: SourceRegistry, strategy: str, **overrides):
+    with Engine(example.schema, registry) as engine:
+        return engine.execute(
+            example.query_text,
+            strategy=strategy,
+            share_session_cache=False,
+            **overrides,
+        )
+
+
+def _result_fingerprint(result) -> bytes:
+    """The semantic payload of a result, minus wall-clock noise."""
+    payload = result.to_dict()
+    payload.pop("elapsed_seconds")
+    stats = dict(payload["retry_stats"])
+    stats.pop("backoff_seconds")
+    payload["retry_stats"] = stats
+    return json.dumps(payload, sort_keys=True, default=repr).encode()
+
+
+def check_cross_backend_equivalence(seed: int) -> None:
+    example, latencies = generate_case(seed)
+    for strategy in STRATEGIES:
+        baseline = None
+        for backend in BACKENDS:
+            result = _execute(example, _registry(example, latencies, backend), strategy)
+            assert result.answers == example.expected_answers, (
+                f"seed {seed}: {strategy} on {backend} returned wrong answers "
+                f"on {example.name}"
+            )
+            assert result.complete, f"seed {seed}: fault-free run flagged incomplete"
+            observed = (
+                result.total_accesses,
+                tuple(sorted((b.relation, b.accesses) for b in result.per_source)),
+            )
+            if baseline is None:
+                baseline = observed
+            else:
+                assert observed == baseline, (
+                    f"seed {seed}: {strategy} diverged between backends on "
+                    f"{example.name}: {observed} != {baseline}"
+                )
+
+
+def check_zero_fault_rate_is_identity(seed: int) -> None:
+    """FlakyBackend at fault_rate=0 + all resilience knobs on: byte-identical."""
+    example, latencies = generate_case(seed)
+    resilience = dict(
+        retry=RetryPolicy(max_attempts=3, base_delay=0.001),
+        timeout=30.0,
+        breaker=BreakerConfig(failure_threshold=3, cooldown=0.1),
+    )
+    for strategy in STRATEGIES:
+        plain = _execute(example, _registry(example, latencies, "memory"), strategy)
+        flaky_registry = _registry(example, latencies, "memory")
+        flaky_registry.inject_faults(FaultSchedule(seed=seed))  # all rates zero
+        wrapped = _execute(example, flaky_registry, strategy, **resilience)
+        assert _result_fingerprint(plain) == _result_fingerprint(wrapped), (
+            f"seed {seed}: zero-fault resilience changed {strategy}'s result "
+            f"on {example.name}"
+        )
+
+
+def check_faulty_runs_hold_the_completeness_contract(seed: int) -> None:
+    example, latencies = generate_case(seed)
+    rng = random.Random(seed * 7919 + 1)
+    schedule = FaultSchedule(
+        seed=seed,
+        transient_rate=rng.uniform(0.1, 0.3),
+        timeout_rate=rng.uniform(0.0, 0.1),
+    )
+    for strategy in STRATEGIES:
+        registry = _registry(example, latencies, "memory")
+        registry.inject_faults(schedule)
+        result = _execute(
+            example,
+            registry,
+            strategy,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            breaker=BreakerConfig(failure_threshold=5, cooldown=0.05),
+        )
+        assert result.answers <= example.expected_answers
+        if result.complete:
+            assert result.answers == example.expected_answers, (
+                f"seed {seed}: {strategy} claimed complete with missing answers"
+            )
+            assert not result.failed_relations
+        if result.answers != example.expected_answers:
+            assert not result.complete, (
+                f"seed {seed}: {strategy} lost answers without flagging incompleteness"
+            )
+
+
+@pytest.mark.parametrize("seed", CI_SEEDS)
+def test_fuzz_cross_backend_equivalence(seed: int) -> None:
+    check_cross_backend_equivalence(seed)
+
+
+@pytest.mark.parametrize("seed", CI_SEEDS)
+def test_fuzz_zero_fault_rate_is_identity(seed: int) -> None:
+    check_zero_fault_rate_is_identity(seed)
+
+
+@pytest.mark.parametrize("seed", CI_SEEDS)
+def test_fuzz_completeness_contract_under_faults(seed: int) -> None:
+    check_faulty_runs_hold_the_completeness_contract(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", FULL_SEEDS)
+def test_fuzz_full_sweep(seed: int) -> None:
+    check_cross_backend_equivalence(seed)
+    check_zero_fault_rate_is_identity(seed)
+    check_faulty_runs_hold_the_completeness_contract(seed)

@@ -1,0 +1,202 @@
+"""Rendering, d-path reachability and bottom-up Datalog evaluation.
+
+These modules back ``explain()``-style introspection and the Datalog view
+of plans (Section IV); the tests pin their contracts: deterministic ASCII /
+DOT output, the free-reachability invariant on marked d-graphs, simple
+d-path enumeration, and the semi-naive fixpoint of
+:func:`repro.datalog.evaluation.evaluate_program` agreeing with the
+engine's answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.datalog.evaluation import evaluate_program, evaluate_rule_once
+from repro.datalog.program import DatalogProgram, Rule
+from repro.examples import cyclic_example, running_example, star_example
+from repro.graph import analyze_relevance
+from repro.graph.dpath import (
+    all_black_inputs_free_reachable,
+    d_paths_from_free_sources,
+    free_reachable_nodes,
+    reaches_black_node,
+    unreachable_black_inputs,
+)
+from repro.graph.render import describe_optimization, render_ascii, render_dot
+from repro.query import parse_query
+from repro.query.atoms import Atom
+from repro.query.terms import Constant, Variable
+
+
+@pytest.fixture()
+def analysis():
+    example = running_example()
+    return analyze_relevance(parse_query(example.query_text), example.schema)
+
+
+# -- rendering -------------------------------------------------------------------
+def test_render_ascii_lists_sources_and_marked_arcs(analysis) -> None:
+    text = render_ascii(analysis.marked, title="running example")
+    assert text.splitlines()[0] == "running example"
+    assert "sources:" in text and "arcs:" in text
+    # Deleted arcs (everything touching irrelevant r3) render as -x>.
+    assert "-x>" in text
+    # Rendering is deterministic: same input, same text.
+    assert text == render_ascii(analysis.marked, title="running example")
+
+
+def test_render_ascii_works_on_all_three_graph_kinds(analysis) -> None:
+    plain = render_ascii(analysis.graph)
+    marked = render_ascii(analysis.marked)
+    optimized = render_ascii(analysis.optimized)
+    # The plain graph has no marks; the optimized one dropped r3 entirely.
+    assert "[deleted]" not in plain
+    assert "r3" in plain and "r3" not in optimized
+    assert marked.count("\n") >= optimized.count("\n")
+
+
+def test_render_ascii_on_an_arcless_graph() -> None:
+    example = star_example(rays=1, width=1)
+    analysis = analyze_relevance(parse_query("q(A) <- noise(X, A)"), example.schema)
+    # noise^io alone has no surviving providers: arcs may be empty and the
+    # renderer must still emit the placeholder instead of crashing.
+    text = render_ascii(analysis.optimized)
+    assert "arcs:" in text
+
+
+def test_render_dot_emits_valid_clusters_and_edge_styles(analysis) -> None:
+    dot = render_dot(analysis.marked, name="running")
+    assert dot.startswith("digraph running {") and dot.rstrip().endswith("}")
+    assert "subgraph cluster_0 {" in dot
+    # Deleted arcs are dashed grey; strong arcs use the doubled colour list.
+    assert "[style=dashed, color=grey]" in dot
+    assert dot == render_dot(analysis.marked, name="running")
+
+
+def test_describe_optimization_counts_removed_sources(analysis) -> None:
+    summary = describe_optimization(analysis.graph, analysis.optimized)
+    assert summary["sources_before"] > summary["sources_after"]
+    assert any(name.startswith("r3") for name in summary["removed_sources"])
+    assert summary["arcs_before"] >= summary["arcs_after"]
+    assert summary["strong_arcs"] + summary["weak_arcs"] == summary["arcs_after"]
+
+
+# -- d-paths and free-reachability ------------------------------------------------
+def test_black_inputs_of_answerable_query_are_free_reachable(analysis) -> None:
+    # The GFP invariant: every black input node stays free-reachable.
+    assert all_black_inputs_free_reachable(analysis.marked)
+    assert unreachable_black_inputs(analysis.marked) == []
+    reachable = free_reachable_nodes(analysis.marked)
+    black_inputs = {
+        node
+        for source in analysis.marked.graph.black_sources()
+        for node in source.input_nodes
+    }
+    assert black_inputs <= reachable
+
+
+def test_d_paths_start_free_and_reach_the_black_sources(analysis) -> None:
+    paths = d_paths_from_free_sources(analysis.graph)
+    assert paths, "the running example has at least the volare chain"
+    free_ids = {source.source_id for source in analysis.graph.free_sources()}
+    for path in paths:
+        assert path[0].tail.source_id in free_ids
+        # Simple paths never revisit a source.
+        visited = [arc.head.source_id for arc in path]
+        assert len(visited) == len(set(visited))
+    assert any(reaches_black_node(path) for path in paths)
+
+
+def test_d_paths_respect_the_max_paths_bound(analysis) -> None:
+    assert len(d_paths_from_free_sources(analysis.graph, max_paths=1)) == 1
+
+
+def test_d_paths_over_a_restricted_arc_set(analysis) -> None:
+    from repro.graph.gfp import ArcMark
+
+    surviving = [
+        arc
+        for arc in analysis.graph.arcs
+        if analysis.marked.mark_of(arc) is not ArcMark.DELETED
+    ]
+    paths = d_paths_from_free_sources(analysis.graph, arcs=surviving)
+    deleted = set(analysis.graph.arcs) - set(surviving)
+    assert paths
+    for path in paths:
+        assert not (set(path) & deleted)
+
+
+# -- bottom-up Datalog evaluation ---------------------------------------------------
+def _var(name: str) -> Variable:
+    return Variable(name)
+
+
+def test_evaluate_rule_once_grounds_heads() -> None:
+    rule = Rule(
+        head=Atom("out", (_var("X"), Constant("tag"))),
+        body=[Atom("edge", (_var("X"), _var("Y")))],
+    )
+    derived = evaluate_rule_once(rule, {"edge": {("a", "b"), ("b", "c")}})
+    assert derived == {("a", "tag"), ("b", "tag")}
+
+
+def _closure_program() -> DatalogProgram:
+    program = DatalogProgram()
+    program.add_rule(
+        Rule(head=Atom("path", (_var("X"), _var("Y"))), body=[Atom("edge", (_var("X"), _var("Y")))])
+    )
+    program.add_rule(
+        Rule(
+            head=Atom("path", (_var("X"), _var("Z"))),
+            body=[Atom("path", (_var("X"), _var("Y"))), Atom("edge", (_var("Y"), _var("Z")))],
+        )
+    )
+    return program
+
+
+def test_transitive_closure_reaches_the_fixpoint() -> None:
+    edges = {("a", "b"), ("b", "c"), ("c", "d")}
+    result = evaluate_program(_closure_program(), edb={"edge": edges})
+    assert result["path"] == {
+        ("a", "b"), ("b", "c"), ("c", "d"),
+        ("a", "c"), ("b", "d"), ("a", "d"),
+    }
+
+
+def test_max_rounds_truncates_the_fixpoint() -> None:
+    edges = {(f"n{i}", f"n{i + 1}") for i in range(6)}
+    full = evaluate_program(_closure_program(), edb={"edge": edges})
+    truncated = evaluate_program(_closure_program(), edb={"edge": edges}, max_rounds=1)
+    assert truncated["path"] < full["path"]
+
+
+def test_edb_callback_serves_missing_predicates() -> None:
+    seen = []
+
+    def callback(predicate: str):
+        seen.append(predicate)
+        return {("a", "b")}
+
+    result = evaluate_program(_closure_program(), edb_callback=callback)
+    assert seen == ["edge"]
+    assert result["path"] == {("a", "b")}
+
+
+@pytest.mark.parametrize("example_factory", [running_example, cyclic_example])
+def test_plan_datalog_program_agrees_with_the_engine(example_factory) -> None:
+    # The Datalog view of a plan (Section IV), evaluated bottom-up over the
+    # full source extensions, derives exactly the engine's answers for the
+    # query predicate.
+    example = example_factory()
+    with Engine(example.schema, example.instance) as engine:
+        prepared = engine.plan(example.query_text)
+        answers = prepared.execute(strategy="fast_fail").answers
+        program = prepared.to_datalog()
+    extensions = evaluate_program(
+        program,
+        edb_callback=lambda predicate: example.instance[predicate].as_set(),
+    )
+    head = prepared.plan.rewritten_query.head_predicate
+    assert extensions[head] == answers == example.expected_answers
