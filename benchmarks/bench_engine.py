@@ -50,6 +50,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro import Engine  # noqa: E402
 from repro.examples import (  # noqa: E402
     Example,
+    adaptive_example,
     chain_example,
     chaos_example,
     cyclic_example,
@@ -406,6 +407,117 @@ def bench_fault_tolerance() -> Dict[str, object]:
     return entry
 
 
+def _optimizer_topologies() -> List[Example]:
+    """The six topologies the cost-vs-structural assertion sweeps."""
+    return [
+        chain_example(length=3, width=8),
+        wide_fanout_example(width=6, fanout=6),
+        star_example(rays=3, width=8),
+        diamond_example(width=16),
+        skewed_fanout_example(keys=6, hot_keys=2, hot_fanout=12),
+        cyclic_example(size=16, seeds=2),
+    ]
+
+
+def bench_optimizer() -> Dict[str, object]:
+    """Cost-based optimizer vs the structural order: never worse, same answers.
+
+    For each of the six topologies, a cold structural run and a cold
+    cost-based run execute in fresh engines (no shared session cache); the
+    cost order must return identical answers with *no more* source
+    accesses.  A warm second cost run in the same engine session then
+    re-plans from the statistics the cold run collected.  The adaptive
+    scenario asserts the mid-run re-planning hook fires (its hot branch
+    contradicts the cold fanout default beyond the divergence threshold),
+    and a distillation cross-check asserts the optimizer holds outside the
+    fast-failing strategy too.
+    """
+    entry: Dict[str, object] = {"topologies": {}}
+    for example in _optimizer_topologies():
+        with Engine(example.schema, example.instance) as engine:
+            structural = engine.execute(
+                example.query_text, strategy="fast_fail", share_session_cache=False
+            )
+        with Engine(example.schema, example.instance) as engine:
+            cold = engine.execute(
+                example.query_text,
+                strategy="fast_fail",
+                share_session_cache=False,
+                optimizer="cost",
+            )
+            # Session statistics are warm now: the second plan is priced
+            # with observed fanouts instead of the cold defaults.
+            warm = engine.execute(
+                example.query_text, strategy="fast_fail", optimizer="cost"
+            )
+        assert cold.answers == structural.answers == example.expected_answers, (
+            f"optimizer='cost' changed the answers on {example.name}"
+        )
+        assert cold.total_accesses <= structural.total_accesses, (
+            f"optimizer='cost' performed more accesses than structural on "
+            f"{example.name}: {cold.total_accesses} > {structural.total_accesses}"
+        )
+        assert warm.answers == example.expected_answers
+        report = cold.optimizer_report
+        entry["topologies"][example.name] = {  # type: ignore[index]
+            "structural_accesses": structural.total_accesses,
+            "cost_accesses": cold.total_accesses,
+            "warm_accesses": warm.total_accesses,
+            "warm_meta_hits": int(engine.session_stats()["meta_hits"]),
+            "method": report.method,
+            "estimated_cost": round(report.estimated_cost, 3),
+            "replans": report.replans,
+        }
+
+    # -- adaptive re-planning ------------------------------------------------
+    adaptive = adaptive_example()
+    with Engine(adaptive.schema, adaptive.instance) as engine:
+        structural = engine.execute(
+            adaptive.query_text, strategy="fast_fail", share_session_cache=False
+        )
+    with Engine(adaptive.schema, adaptive.instance) as engine:
+        cost = engine.execute(
+            adaptive.query_text,
+            strategy="fast_fail",
+            share_session_cache=False,
+            optimizer="cost",
+        )
+    assert cost.answers == structural.answers == adaptive.expected_answers
+    assert cost.total_accesses <= structural.total_accesses
+    assert cost.optimizer_report.replans >= 1, (
+        "the adaptive scenario's misleading cold fanouts did not trigger a re-plan"
+    )
+    entry["adaptive"] = {
+        "workload": adaptive.name,
+        "structural_accesses": structural.total_accesses,
+        "cost_accesses": cost.total_accesses,
+        "replans": cost.optimizer_report.replans,
+    }
+
+    # -- distillation cross-check --------------------------------------------
+    example = star_example(rays=3, width=8)
+    with Engine(example.schema, example.instance) as engine:
+        structural = engine.execute(
+            example.query_text, strategy="distillation", share_session_cache=False
+        )
+    with Engine(example.schema, example.instance) as engine:
+        cost = engine.execute(
+            example.query_text,
+            strategy="distillation",
+            share_session_cache=False,
+            optimizer="cost",
+        )
+    assert cost.answers == structural.answers == example.expected_answers
+    assert cost.total_accesses <= structural.total_accesses
+    entry["distillation_cross_check"] = {
+        "workload": example.name,
+        "structural_accesses": structural.total_accesses,
+        "cost_accesses": cost.total_accesses,
+    }
+    entry["never_worse_than_structural"] = True
+    return entry
+
+
 def workloads(smoke: bool) -> List[Example]:
     chains = CHAIN_CONFIGURATIONS[:2] if smoke else CHAIN_CONFIGURATIONS
     examples = [chain_example(length=length, width=width) for length, width in chains]
@@ -466,6 +578,13 @@ def main(argv: List[str] | None = None) -> int:
         f"peak in flight {parallel_run['peak_in_flight']}, "
         f"{throughput_entry['speedup']}x vs sequential)"
     )
+    optimizer_entry = bench_optimizer()
+    adaptive_run = optimizer_entry["adaptive"]  # type: ignore[index]
+    print(
+        f"optimizer on {len(optimizer_entry['topologies'])} topologies: "  # type: ignore[arg-type]
+        f"cost accesses <= structural on all; adaptive replans "
+        f"{adaptive_run['replans']} on {adaptive_run['workload']}"
+    )
     fault_entry = bench_fault_tolerance()
     overhead_run = fault_entry["zero_fault_overhead"]  # type: ignore[index]
     print(
@@ -493,6 +612,7 @@ def main(argv: List[str] | None = None) -> int:
         "backend_equivalence": backend_entry,
         "real_concurrency": real_entry,
         "workload_throughput": throughput_entry,
+        "optimizer": optimizer_entry,
         "fault_tolerance": fault_entry,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")

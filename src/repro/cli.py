@@ -17,8 +17,15 @@ concurrently over one engine session and reports throughput::
     python -m repro run --scenario diamond --backend callable --backend-latency 0.005 \
         --strategy distillation --concurrency real
     python -m repro run --scenario chaos --fail rate=0.2,seed=7 --retries 2 --timeout 5
+    python -m repro run --scenario adaptive --optimizer cost
     python -m repro workload --mix star,diamond,chain --repeat 2 --max-parallel 4
     python -m repro workload --mix star,chaos --repeat 2 --fail 0.3 --retries 3
+    python -m repro workload --mix star,diamond --optimizer cost --json
+
+``--optimizer cost`` replaces the structural d-graph access order with the
+statistics-driven cost-based order of :mod:`repro.optimizer` (identical
+answers, never more accesses) and reports estimated vs. actual per-relation
+cardinalities.
 
 ``--fail`` wraps every backend in a deterministic, seeded
 :class:`~repro.sources.resilience.FlakyBackend`; ``--retries``/``--timeout``
@@ -312,6 +319,7 @@ def _command_run(args: argparse.Namespace) -> int:
                 answer_check_interval=1,
                 concurrency=args.concurrency,
                 max_workers=args.max_workers,
+                optimizer=args.optimizer,
                 **resilience,
             ):
                 streamed.append(answer)
@@ -334,6 +342,7 @@ def _command_run(args: argparse.Namespace) -> int:
             strategy=strategy,
             concurrency=args.concurrency,
             max_workers=args.max_workers,
+            optimizer=args.optimizer,
             **resilience,
         )
         if args.json:
@@ -363,6 +372,7 @@ def _command_workload(args: argparse.Namespace) -> int:
             workload.query_texts(),
             strategy=args.strategy,
             max_parallel=args.max_parallel,
+            optimizer=args.optimizer,
             **_resilience_overrides(args),
         )
         # The completeness contract under test: a result claiming complete
@@ -414,6 +424,17 @@ def _command_workload(args: argparse.Namespace) -> int:
                 f"(hit rate {report.hit_rate:.1%})  "
                 f"peak in flight {report.peak_in_flight}"
             )
+            if report.relation_stats:
+                print("per-relation statistics:")
+                for relation, stats in report.relation_stats.items():
+                    print(
+                        f"  {relation:>14}: {stats['accesses']:>4} accesses, "
+                        f"{stats['rows']:>5} rows "
+                        f"(fanout {stats['rows_per_access']}, "
+                        f"empty rate {stats['empty_rate']}, "
+                        f"avg latency {stats['avg_latency']}, "
+                        f"meta hits {stats['meta_hits']})"
+                    )
         if mismatches:
             print("error: some queries returned unexpected answers", file=sys.stderr)
             return 1
@@ -444,6 +465,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--stream", action="store_true", help="stream incremental answers (distillation)"
+    )
+    run_parser.add_argument(
+        "--optimizer",
+        choices=("structural", "cost"),
+        default="structural",
+        help=(
+            "access-order optimizer: the paper's structural d-graph order "
+            "(default) or the cost-based statistics-driven planner (same "
+            "answers, never more accesses, adaptive mid-run re-planning)"
+        ),
     )
     run_parser.add_argument(
         "--concurrency",
@@ -497,6 +528,15 @@ def build_parser() -> argparse.ArgumentParser:
         "-s",
         default="fast_fail",
         help=f"execution strategy ({', '.join(available_strategies())}); default: fast_fail",
+    )
+    workload_parser.add_argument(
+        "--optimizer",
+        choices=("structural", "cost"),
+        default="structural",
+        help=(
+            "access-order optimizer used by every query of the stream "
+            "(default: structural)"
+        ),
     )
     workload_parser.add_argument(
         "--backend",

@@ -21,7 +21,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.engine.explain import Explanation
@@ -31,6 +31,7 @@ from repro.engine.strategy import ExecuteOptions, StrategyLike
 from repro.exceptions import EngineError, ReproError
 from repro.model.instance import DatabaseInstance
 from repro.model.schema import Schema
+from repro.optimizer.stats import StatisticsCollector
 from repro.plan.minimal import MinimalPlanGenerator
 from repro.plan.parallel import StreamedAnswer
 from repro.query.conjunctive import ConjunctiveQuery
@@ -60,6 +61,10 @@ class EngineSession:
             answered locally instead of hitting the source again.
         log: cumulative access log over all executions of the session.
         executions: number of executions absorbed so far.
+        statistics: per-relation runtime statistics mined from the absorbed
+            logs — the cost-based optimizer's input.  They accumulate
+            across queries, so later queries are planned with what earlier
+            ones learned.
     """
 
     def __init__(self) -> None:
@@ -67,17 +72,38 @@ class EngineSession:
         self.meta: Dict[str, MetaCache] = {}
         self.log = AccessLog()
         self.executions = 0
+        self.statistics = StatisticsCollector()
 
     def new_cache_db(self) -> CacheDatabase:
         """A fresh cache database whose meta-caches are the session's."""
         with self._lock:
             return CacheDatabase(shared_meta=self.meta, meta_lock=self._lock)
 
-    def absorb(self, log: AccessLog) -> None:
-        """Fold one execution's access log into the session log."""
+    def absorb(
+        self,
+        log: AccessLog,
+        registry: Optional[SourceRegistry] = None,
+        retry_stats: Optional[object] = None,
+        default_latency: float = 0.0,
+    ) -> None:
+        """Fold one execution's access log into the session log.
+
+        When a ``registry`` is given, the log is also folded into the
+        session's per-relation statistics, priced with the wrappers'
+        latencies (``default_latency`` for wrappers that declare none)
+        and stretched by the run's ``retry_stats``.
+        """
         with self._lock:
             self.log.extend(log)
             self.executions += 1
+        self.statistics.observe_log(
+            log,
+            registry=registry,
+            default_latency=default_latency,
+            retry_stats=retry_stats,
+        )
+        with self._lock:
+            self.statistics.sync_meta_hits(self.meta)
 
     @property
     def known_accesses(self) -> int:
@@ -96,6 +122,7 @@ class EngineSession:
             self.meta.clear()
             self.log = AccessLog()
             self.executions = 0
+            self.statistics.reset()
 
     def stats(self) -> Dict[str, object]:
         with self._lock:
@@ -108,6 +135,7 @@ class EngineSession:
                 "known_accesses": sum(len(meta) for meta in self.meta.values()),
                 "meta_hits": hits,
                 "hit_rate": (hits / served) if served else 0.0,
+                "relations": self.statistics.per_relation_summary(),
             }
 
 
@@ -128,6 +156,10 @@ class WorkloadReport:
         peak_in_flight: largest number of queries that were genuinely
             executing at the same moment.
         max_parallel: the concurrency bound the run was asked for.
+        relation_stats: the session's per-relation statistics after the run
+            (rows per access, fanout by binding arity, empty rate, average
+            latency, meta hits) — the observables the cost-based optimizer
+            plans with.
     """
 
     results: List[Result]
@@ -138,6 +170,7 @@ class WorkloadReport:
     hit_rate: float
     peak_in_flight: int
     max_parallel: int
+    relation_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -149,6 +182,7 @@ class WorkloadReport:
             "hit_rate": round(self.hit_rate, 4),
             "peak_in_flight": self.peak_in_flight,
             "max_parallel": self.max_parallel,
+            "relations": self.relation_stats,
         }
 
 
@@ -348,6 +382,7 @@ class Engine:
             hit_rate=(hits / served) if served else 0.0,
             peak_in_flight=peak,
             max_parallel=max_parallel,
+            relation_stats=self.session.statistics.per_relation_summary(),
         )
 
     # -- lifecycle -----------------------------------------------------------

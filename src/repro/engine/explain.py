@@ -11,7 +11,7 @@ JSON-serializable :meth:`~Explanation.to_dict`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.prepared import PreparedPlan
@@ -72,6 +72,10 @@ class Explanation:
         admits_forall_minimal_plan: the ∀-minimality condition of Section IV.
         caches: every cache predicate with its providers.
         datalog: the plan rendered as the Datalog program of Section IV.
+        optimizer: the cost-based optimizer's account of the most recent
+            execution — chosen order, estimated vs. actual per-relation
+            cardinalities, re-planning events — or None when the plan has
+            only run with the structural order (or not run at all).
     """
 
     query: str
@@ -86,11 +90,12 @@ class Explanation:
     admits_forall_minimal_plan: bool
     caches: Tuple[CacheInfo, ...]
     datalog: str
+    optimizer: Optional[Dict[str, object]] = None
 
     # -- rendering -----------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable view (used by the CLI's ``explain --json``)."""
-        return {
+        payload: Dict[str, object] = {
             "query": self.query,
             "minimized_query": self.minimized_query,
             "answerable": self.answerable,
@@ -115,6 +120,9 @@ class Explanation:
             ],
             "datalog": self.datalog,
         }
+        if self.optimizer is not None:
+            payload["optimizer"] = self.optimizer
+        return payload
 
     def describe(self) -> str:
         """Multi-line human-readable explanation."""
@@ -144,6 +152,23 @@ class Explanation:
         lines.append("datalog program:")
         for line in self.datalog.splitlines():
             lines.append(f"  {line}")
+        if self.optimizer is not None:
+            lines.append("optimizer (last run):")
+            lines.append(
+                f"  mode={self.optimizer.get('mode')} method={self.optimizer.get('method')}"
+                f" replans={self.optimizer.get('replans')}"
+            )
+            order = self.optimizer.get("groups") or []
+            rendered = " < ".join(
+                "{" + ", ".join(group) + "}" for group in order  # type: ignore[union-attr]
+            )
+            lines.append(f"  order: {rendered or '(empty)'}")
+            for entry in self.optimizer.get("relations") or []:  # type: ignore[union-attr]
+                lines.append(
+                    "  {relation}: est. accesses {estimated_accesses}, "
+                    "actual {actual_accesses}; est. fanout {estimated_fanout}, "
+                    "actual {actual_fanout}".format(**entry)  # type: ignore[arg-type]
+                )
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -186,6 +211,7 @@ def build_explanation(prepared: "PreparedPlan") -> Explanation:
             )
         )
 
+    report = getattr(prepared, "last_optimizer_report", None)
     return Explanation(
         query=str(plan.original_query),
         minimized_query=str(plan.minimized_query),
@@ -199,4 +225,5 @@ def build_explanation(prepared: "PreparedPlan") -> Explanation:
         admits_forall_minimal_plan=plan.admits_forall_minimal_plan,
         caches=tuple(caches),
         datalog=str(plan.to_datalog()),
+        optimizer=report.to_dict() if report is not None else None,
     )

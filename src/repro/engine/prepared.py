@@ -37,6 +37,9 @@ class PreparedPlan:
     engine: "Engine"
     query: ConjunctiveQuery
     plan: QueryPlan
+    #: The cost-based optimizer's report of the most recent execution
+    #: (None before any run, and after runs with the structural order).
+    last_optimizer_report: Optional[object] = None
 
     # -- execution -----------------------------------------------------------
     def _options(self, options: Optional[ExecuteOptions], overrides: dict) -> ExecuteOptions:

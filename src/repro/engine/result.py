@@ -76,6 +76,9 @@ class Result:
         access_log: the ordered record of this execution's accesses.
         raw: the strategy-specific result object, for callers that need the
             full detail (e.g. the naive value pool or the answer times).
+        optimizer_report: the cost-based optimizer's account of the run
+            (chosen order, estimated vs. actual cardinalities, re-planning
+            events); None when the structural order was used.
     """
 
     strategy: str
@@ -91,6 +94,7 @@ class Result:
     retry_stats: RetryStats = field(default_factory=RetryStats)
     access_log: AccessLog = field(default_factory=AccessLog, repr=False)
     raw: object = field(default=None, repr=False)
+    optimizer_report: object = field(default=None, repr=False)
 
     # -- inspection ----------------------------------------------------------
     @property
@@ -135,7 +139,7 @@ class Result:
     # -- rendering -----------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable view (used by the CLI and the benchmarks)."""
-        return {
+        payload: Dict[str, object] = {
             "strategy": self.strategy,
             "answers": sorted([list(row) for row in self.answers], key=repr),
             "termination": self.termination.value,
@@ -157,6 +161,9 @@ class Result:
             "failed_relations": list(self.failed_relations),
             "retry_stats": self.retry_stats.to_dict(),
         }
+        if self.optimizer_report is not None:
+            payload["optimizer"] = self.optimizer_report.to_dict()  # type: ignore[attr-defined]
+        return payload
 
     def summary(self) -> str:
         """Compact human-readable account of the execution."""
@@ -186,6 +193,8 @@ class Result:
                 f"  {breakdown.relation}: {breakdown.accesses} accesses, "
                 f"{breakdown.distinct_rows} rows"
             )
+        if self.optimizer_report is not None:
+            lines.append(str(self.optimizer_report))
         return "\n".join(lines)
 
     def __str__(self) -> str:

@@ -15,6 +15,8 @@ from typing import TYPE_CHECKING, Iterator, List, Tuple
 
 from repro.engine.result import Result, SourceBreakdown, Termination
 from repro.engine.strategy import ExecuteOptions, ExecutionStrategy, register_strategy
+from repro.exceptions import StrategyError
+from repro.optimizer import AccessOptimizer
 from repro.plan.execution import ExecutionOptions, FastFailingExecutor
 from repro.plan.naive import NaiveEvaluator
 from repro.plan.parallel import DistillationExecutor, StreamedAnswer
@@ -23,6 +25,8 @@ from repro.sources.log import AccessLog
 from repro.sources.wrapper import SourceRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Optional
+
     from repro.engine.prepared import PreparedPlan
 
 
@@ -58,6 +62,30 @@ def _session_cache_db(prepared: "PreparedPlan", options: ExecuteOptions) -> Cach
     return CacheDatabase()
 
 
+def _optimizer_for(
+    prepared: "PreparedPlan", options: ExecuteOptions
+) -> "Optional[AccessOptimizer]":
+    """Build the cost-based optimizer selected by ``options.optimizer``.
+
+    ``"structural"`` returns None — the strategies then follow the paper's
+    d-graph order exactly, byte-identical to the pre-optimizer engine.
+    """
+    if options.optimizer == "structural":
+        return None
+    if options.optimizer != "cost":
+        raise StrategyError(
+            f"unknown optimizer {options.optimizer!r}; use 'structural' or 'cost'",
+            plan=prepared.plan,
+        )
+    engine = prepared.engine
+    return AccessOptimizer(
+        prepared.plan,
+        statistics=engine.session.statistics,
+        registry=engine.registry,
+        default_latency=options.default_latency,
+    )
+
+
 def _termination(raw: object, default: Termination) -> Termination:
     """Shape a raw result's failure flags into the shared termination.
 
@@ -85,21 +113,30 @@ class NaiveStrategy(ExecutionStrategy):
     def run(self, prepared: "PreparedPlan", options: ExecuteOptions) -> Result:
         engine = prepared.engine
         log = AccessLog()
+        optimizer = _optimizer_for(prepared, options)
         evaluator = NaiveEvaluator(
             engine.schema,
             engine.registry,
             max_accesses=options.max_accesses,
             resilience=options.resilience(),
+            optimizer=optimizer,
         )
         started = time.perf_counter()
+        raw = None
         try:
             raw = evaluator.evaluate(prepared.query, log=log)
         finally:
             # Keep the session log consistent with whatever really hit the
             # sources, even when the run aborts (e.g. access budget exceeded).
-            engine.session.absorb(log)
+            engine.session.absorb(
+                log,
+                registry=engine.registry,
+                retry_stats=raw.retry_stats if raw is not None else None,
+            )
         elapsed = time.perf_counter() - started
         per_source, simulated = _breakdown(log, engine.registry)
+        report = optimizer.report(log) if optimizer is not None else None
+        prepared.last_optimizer_report = report
         return Result(
             strategy=self.name,
             answers=raw.answers,
@@ -112,6 +149,7 @@ class NaiveStrategy(ExecutionStrategy):
             retry_stats=raw.retry_stats,
             access_log=log,
             raw=raw,
+            optimizer_report=report,
         )
 
 
@@ -124,6 +162,7 @@ class FastFailStrategy(ExecutionStrategy):
     def run(self, prepared: "PreparedPlan", options: ExecuteOptions) -> Result:
         engine = prepared.engine
         log = AccessLog()
+        optimizer = _optimizer_for(prepared, options)
         executor = FastFailingExecutor(
             prepared.plan,
             engine.registry,
@@ -132,13 +171,21 @@ class FastFailStrategy(ExecutionStrategy):
                 use_meta_cache=options.use_meta_cache,
                 max_accesses=options.max_accesses,
                 resilience=options.resilience(),
+                optimizer=optimizer,
             ),
         )
+        raw = None
         try:
             raw = executor.execute(cache_db=_session_cache_db(prepared, options), log=log)
         finally:
-            engine.session.absorb(log)
+            engine.session.absorb(
+                log,
+                registry=engine.registry,
+                retry_stats=raw.retry_stats if raw is not None else None,
+            )
         per_source, simulated = _breakdown(log, engine.registry)
+        report = optimizer.report(log) if optimizer is not None else None
+        prepared.last_optimizer_report = report
         return Result(
             strategy=self.name,
             answers=raw.answers,
@@ -155,6 +202,7 @@ class FastFailStrategy(ExecutionStrategy):
             retry_stats=raw.retry_stats,
             access_log=log,
             raw=raw,
+            optimizer_report=report,
         )
 
 
@@ -167,7 +215,10 @@ class DistillationStrategy(ExecutionStrategy):
     supports_real_concurrency = True
 
     def _executor(
-        self, prepared: "PreparedPlan", options: ExecuteOptions
+        self,
+        prepared: "PreparedPlan",
+        options: ExecuteOptions,
+        optimizer: "Optional[AccessOptimizer]" = None,
     ) -> DistillationExecutor:
         return DistillationExecutor(
             prepared.plan,
@@ -180,19 +231,29 @@ class DistillationStrategy(ExecutionStrategy):
             concurrency=options.concurrency,
             max_workers=options.max_workers,
             resilience=options.resilience(),
+            optimizer=optimizer,
         )
 
     def run(self, prepared: "PreparedPlan", options: ExecuteOptions) -> Result:
         engine = prepared.engine
         log = AccessLog()
-        executor = self._executor(prepared, options)
+        optimizer = _optimizer_for(prepared, options)
+        executor = self._executor(prepared, options, optimizer)
         started = time.perf_counter()
+        raw = None
         try:
             raw = executor.execute(cache_db=_session_cache_db(prepared, options), log=log)
         finally:
-            engine.session.absorb(log)
+            engine.session.absorb(
+                log,
+                registry=engine.registry,
+                retry_stats=raw.retry_stats if raw is not None else None,
+                default_latency=options.default_latency,
+            )
         elapsed = time.perf_counter() - started
         per_source, _ = _breakdown(log, engine.registry, options.default_latency)
+        report = optimizer.report(log) if optimizer is not None else None
+        prepared.last_optimizer_report = report
         return Result(
             strategy=self.name,
             answers=raw.answers,
@@ -206,6 +267,7 @@ class DistillationStrategy(ExecutionStrategy):
             retry_stats=raw.retry_stats,
             access_log=log,
             raw=raw,
+            optimizer_report=report,
         )
 
     def stream(
@@ -213,11 +275,20 @@ class DistillationStrategy(ExecutionStrategy):
     ) -> Iterator[StreamedAnswer]:
         engine = prepared.engine
         log = AccessLog()
-        executor = self._executor(prepared, options)
+        optimizer = _optimizer_for(prepared, options)
+        executor = self._executor(prepared, options, optimizer)
         try:
             yield from executor.stream(
                 cache_db=_session_cache_db(prepared, options), log=log
             )
         finally:
             # Absorb whatever was accessed, even if the consumer stops early.
-            engine.session.absorb(log)
+            last = executor.last_result
+            engine.session.absorb(
+                log,
+                registry=engine.registry,
+                retry_stats=last.retry_stats if last is not None else None,
+                default_latency=options.default_latency,
+            )
+            if optimizer is not None:
+                prepared.last_optimizer_report = optimizer.report(log)

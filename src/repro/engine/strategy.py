@@ -70,6 +70,11 @@ class ExecuteOptions:
         breaker: per-relation circuit-breaker configuration; an open
             breaker short-circuits accesses and excludes the relation from
             further offers until its cool-down elapses.
+        optimizer: ``"structural"`` (default) follows the paper's d-graph
+            ordering exactly; ``"cost"`` asks :mod:`repro.optimizer` for a
+            statistics-driven admissible access order (same answers, never
+            more source accesses) with adaptive mid-run re-planning when
+            observed cardinalities diverge from the estimates.
     """
 
     fast_fail: bool = True
@@ -85,6 +90,7 @@ class ExecuteOptions:
     retry: Optional[RetryPolicy] = None
     timeout: Optional[float] = None
     breaker: Optional[BreakerConfig] = None
+    optimizer: str = "structural"
 
     def override(self, **changes: object) -> "ExecuteOptions":
         """Return a copy with the given fields replaced."""

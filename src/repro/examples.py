@@ -392,6 +392,55 @@ def chaos_example(width: int = 8, rays: int = 3, selectivity: float = 1.0) -> Ex
     )
 
 
+def adaptive_example(
+    width: int = 3, trap_fanout: int = 16, safe_fanout: int = 2
+) -> Example:
+    """The adaptive-optimizer stress topology: misleading cold-start fanouts.
+
+    ``seed^oo(D0, Aux)`` emits ``width`` keys; two independent branches
+    expand them — ``lure^ioo`` with ``trap_fanout`` rows per key and
+    ``probe^ioo`` with ``safe_fanout`` — and ``gate^iio(T, S, Z)`` joins
+    one matching pair per key into the answer.  Cold, both branches price
+    identically, so a cost-based planner ties and picks ``lure`` first
+    (lexicographic tie-break); its observed fanout then contradicts the
+    cold default by a factor of ``trap_fanout / 4`` and the adaptive hook
+    must re-plan mid-run (``trap_fanout >= 12`` crosses the 3x divergence
+    threshold).  Structural and cost orders still perform the same access
+    set and compute the same answers — what changes is only what the run
+    *learns*.
+    """
+    if width < 2:
+        raise ValueError("adaptive_example needs width >= 2 (divergence needs samples)")
+    if trap_fanout < 1 or safe_fanout < 1:
+        raise ValueError("adaptive_example needs positive fanouts")
+    schema = Schema.from_signatures(
+        {
+            "seed": ("oo", ["D0", "Aux"]),
+            "lure": ("ioo", ["D0", "T", "Aux"]),
+            "probe": ("ioo", ["D0", "S", "Aux"]),
+            "gate": ("iio", ["T", "S", "Z"]),
+        }
+    )
+    instance = DatabaseInstance(schema)
+    expected = set()
+    for i in range(width):
+        instance.add_tuple("seed", (f"u{i}", f"sa{i}"))
+        for j in range(trap_fanout):
+            instance.add_tuple("lure", (f"u{i}", f"t{i}_{j}", f"la{i}_{j}"))
+        for k in range(safe_fanout):
+            instance.add_tuple("probe", (f"u{i}", f"s{i}_{k}", f"pa{i}_{k}"))
+        instance.add_tuple("gate", (f"t{i}_0", f"s{i}_0", f"z{i}"))
+        expected.add((f"z{i}",))
+    query_text = "q(Z) <- seed(X, A0), lure(X, T, A1), probe(X, S, A2), gate(T, S, Z)"
+    return Example(
+        name=f"adaptive-{width}x{trap_fanout}/{safe_fanout}",
+        schema=schema,
+        instance=instance,
+        query_text=query_text,
+        expected_answers=frozenset(expected),
+    )
+
+
 #: The scenario-generator registry: name -> parameterized Example factory.
 SCENARIOS: Dict[str, Callable[..., Example]] = {
     "running": running_example,
@@ -402,6 +451,7 @@ SCENARIOS: Dict[str, Callable[..., Example]] = {
     "skewed-fanout": skewed_fanout_example,
     "cycle": cyclic_example,
     "chaos": chaos_example,
+    "adaptive": adaptive_example,
 }
 
 

@@ -1,0 +1,56 @@
+"""Cost-based, statistics-driven access optimization.
+
+The paper's plan ordering is purely structural: d-graph topology plus
+prefix-satisfiability decide which source to access next, with no notion of
+how *expensive* an access order is.  This package adds the missing
+query-planning brain:
+
+* :mod:`repro.optimizer.stats` — per-relation statistics mined from the
+  session's access logs, meta-caches and retry accounting;
+* :mod:`repro.optimizer.cost` — a cost model and join graph over the
+  plan's atoms, with cardinality propagation through the provider network;
+* :mod:`repro.optimizer.planner` — greedy and exact-DP search over the
+  *admissible* access orders (topological linearizations of the structural
+  ordering constraints), plus the adaptive mid-run re-planning hook.
+
+Selected with ``ExecuteOptions.optimizer="cost"``; the default
+``"structural"`` keeps the paper's order and is byte-identical to the
+pre-optimizer engine.
+"""
+
+from repro.optimizer.cost import (
+    COLD_FANOUT,
+    CostModel,
+    JoinGraph,
+    MIN_OBSERVATIONS,
+    PlanCostEstimator,
+    RelationEstimate,
+)
+from repro.optimizer.planner import (
+    AccessOptimizer,
+    AccessOrder,
+    AccessPlanner,
+    DP_GROUP_LIMIT,
+    OptimizerReport,
+    RelationForecast,
+    structural_order,
+)
+from repro.optimizer.stats import RelationStatistics, StatisticsCollector
+
+__all__ = [
+    "AccessOptimizer",
+    "AccessOrder",
+    "AccessPlanner",
+    "COLD_FANOUT",
+    "CostModel",
+    "DP_GROUP_LIMIT",
+    "JoinGraph",
+    "MIN_OBSERVATIONS",
+    "OptimizerReport",
+    "PlanCostEstimator",
+    "RelationEstimate",
+    "RelationForecast",
+    "RelationStatistics",
+    "StatisticsCollector",
+    "structural_order",
+]

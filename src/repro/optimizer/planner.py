@@ -1,0 +1,472 @@
+"""The access-order planner and the adaptive optimizer facade.
+
+An access order assigns the plan's cache predicates to ordered groups, one
+kernel phase per group.  Not every permutation is admissible: a source may
+only be accessed once every one of its input positions is bindable from
+the prefix.  The feasibility oracle is
+:func:`repro.graph.ordering.ordering_constraints` — the same condensation
+DAG the structural ordering linearizes — and the planner searches *within*
+its topological linearizations:
+
+* **greedy** for large plans: repeatedly place the ready group with the
+  smallest estimated marginal cost (ties: fewest produced rows, then
+  lexicographic group), re-estimating cardinalities as it goes;
+* **exact DP** (Held–Karp over subsets) for plans with at most
+  :data:`DP_GROUP_LIMIT` groups: cardinality estimates depend only on the
+  *set* of groups already placed, so the classical subset recurrence is
+  sound and finds the cheapest admissible order.
+
+:class:`AccessOptimizer` wraps a planned order with the adaptive re-planning
+hook: mid-run, the scheduling policies feed it observed per-relation row
+counts; when observations diverge from the estimates beyond a threshold the
+remaining groups are re-ranked with the witnessed fanouts, keeping the
+already-executed prefix fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.graph.ordering import ordering_constraints
+from repro.optimizer.cost import CostModel, JoinGraph, PlanCostEstimator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.stats import StatisticsCollector
+    from repro.plan.plan import QueryPlan
+    from repro.sources.log import AccessLog
+    from repro.sources.wrapper import SourceRegistry
+
+#: Largest group count for which the exact subset-DP is attempted.
+DP_GROUP_LIMIT = 8
+#: Observed/estimated fanout ratio beyond which the adaptive hook re-plans.
+REPLAN_THRESHOLD = 3.0
+#: Accesses to a relation required before its divergence is trusted.
+REPLAN_MIN_SAMPLES = 2
+
+Group = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class AccessOrder:
+    """One admissible access order over a plan's cache predicates.
+
+    Attributes:
+        mode: ``"structural"`` or ``"cost"``.
+        method: how the order was found (``structural``, ``greedy``, ``dp``).
+        groups: cache names per phase, in access order.
+        estimated_cost: the cost model's total for this order (0 when
+            structural — the structural order is never priced).
+        estimated_accesses: predicted source accesses per cache.
+        estimated_fanout: the per-relation fanout the estimates assumed.
+    """
+
+    mode: str
+    method: str
+    groups: Tuple[Group, ...]
+    estimated_cost: float = 0.0
+    estimated_accesses: Mapping[str, float] = field(default_factory=dict)
+    estimated_fanout: Mapping[str, float] = field(default_factory=dict)
+
+    def position_of(self, cache_name: str) -> int:
+        """1-based phase of a cache in this order."""
+        for index, group in enumerate(self.groups, start=1):
+            if cache_name in group:
+                return index
+        raise KeyError(f"cache {cache_name!r} is not part of this access order")
+
+    def ranks(self) -> Dict[str, int]:
+        """``{cache name: 0-based phase index}`` for every cache."""
+        return {
+            name: index for index, group in enumerate(self.groups) for name in group
+        }
+
+
+def structural_order(plan: "QueryPlan") -> AccessOrder:
+    """The paper's structural order, as an :class:`AccessOrder`.
+
+    Group membership and member order mirror ``plan.positions()`` /
+    ``plan.caches_at()`` exactly, so a policy driven by this order offers
+    byte-identically to one reading the plan positions directly.
+    """
+    groups = tuple(
+        tuple(cache.name for cache in plan.caches_at(position))
+        for position in plan.positions()
+    )
+    return AccessOrder(mode="structural", method="structural", groups=groups)
+
+
+class AccessPlanner:
+    """Searches the admissible access orders of one plan for the cheapest."""
+
+    def __init__(
+        self, plan: "QueryPlan", model: CostModel, dp_limit: int = DP_GROUP_LIMIT
+    ) -> None:
+        self.plan = plan
+        self.model = model
+        self.dp_limit = dp_limit
+        self.join_graph = JoinGraph(plan)
+        constraints = ordering_constraints(plan.analysis.optimized)
+        source_to_cache = {cache.source_id: cache.name for cache in plan.caches.values()}
+        self.groups: Tuple[Group, ...] = tuple(
+            tuple(sorted(source_to_cache[source_id] for source_id in group))
+            for group in constraints.groups
+        )
+        index_of = {group: i for i, group in enumerate(self.groups)}
+        self._successors: List[List[int]] = [[] for _ in self.groups]
+        self._predecessors: List[List[int]] = [[] for _ in self.groups]
+        for source_group, successors in constraints.successors.items():
+            tail = index_of[
+                tuple(sorted(source_to_cache[source_id] for source_id in source_group))
+            ]
+            for successor in successors:
+                head = index_of[
+                    tuple(sorted(source_to_cache[source_id] for source_id in successor))
+                ]
+                self._successors[tail].append(head)
+                self._predecessors[head].append(tail)
+
+    # ------------------------------------------------------------------------------
+    def order(self, model: Optional[CostModel] = None) -> AccessOrder:
+        """The cheapest admissible order the planner can find."""
+        model = model or self.model
+        if not self.groups:
+            return AccessOrder(mode="cost", method="greedy", groups=())
+        if len(self.groups) <= self.dp_limit:
+            return self._dp(model)
+        return self._greedy(model, prefix=())
+
+    def reorder(self, placed: Sequence[Group], model: CostModel) -> AccessOrder:
+        """Re-rank the groups not yet executed, keeping ``placed`` fixed.
+
+        ``placed`` must be a prefix of an admissible order (it was — it is
+        the part already executed).  The remainder is re-planned greedily
+        with the given (typically override-updated) cost model.
+        """
+        return self._greedy(model, prefix=tuple(placed), method="greedy")
+
+    # ------------------------------------------------------------------------------
+    def _ready(self, placed: Set[int]) -> List[int]:
+        return [
+            index
+            for index in range(len(self.groups))
+            if index not in placed
+            and all(predecessor in placed for predecessor in self._predecessors[index])
+        ]
+
+    def _fanout_snapshot(self, model: CostModel) -> Dict[str, float]:
+        fanout: Dict[str, float] = {}
+        for group in self.groups:
+            for name in group:
+                cache = self.plan.caches[name]
+                if cache.is_artificial:
+                    continue
+                relation = cache.relation.name
+                if relation not in fanout:
+                    fanout[relation] = model.estimate(relation).fanout
+        return fanout
+
+    def _greedy(
+        self,
+        model: CostModel,
+        prefix: Tuple[Group, ...],
+        method: str = "greedy",
+    ) -> AccessOrder:
+        estimator = PlanCostEstimator(self.plan, model)
+        index_of = {group: i for i, group in enumerate(self.groups)}
+        rows: Dict[str, float] = {}
+        accesses: Dict[str, float] = {}
+        total = 0.0
+        ordered: List[Group] = []
+        placed: Set[int] = set()
+        for group in prefix:
+            index = index_of[tuple(sorted(group))]
+            cost, rows, group_accesses = estimator.place(self.groups[index], rows)
+            accesses.update(group_accesses)
+            total += cost
+            ordered.append(group)
+            placed.add(index)
+        while len(placed) < len(self.groups):
+            best: Optional[Tuple[float, float, Group, int, Dict[str, float], Dict[str, float]]] = None
+            for index in self._ready(placed):
+                group = self.groups[index]
+                cost, next_rows, group_accesses = estimator.place(group, rows)
+                produced = sum(next_rows[name] for name in group)
+                candidate = (cost, produced, group, index, next_rows, group_accesses)
+                if best is None or candidate[:3] < best[:3]:
+                    best = candidate
+            assert best is not None  # the constraint DAG is acyclic
+            cost, _produced, group, index, rows, group_accesses = best
+            accesses.update(group_accesses)
+            total += cost
+            ordered.append(group)
+            placed.add(index)
+        return AccessOrder(
+            mode="cost",
+            method=method,
+            groups=tuple(ordered),
+            estimated_cost=total,
+            estimated_accesses=accesses,
+            estimated_fanout=self._fanout_snapshot(model),
+        )
+
+    def _dp(self, model: CostModel) -> AccessOrder:
+        """Held–Karp over placed-group subsets: exact for small plans.
+
+        Sound because :class:`PlanCostEstimator` estimates depend only on
+        the set of groups placed before a cache, never their order, so
+        every path into a subset state shares one rows-state.
+        """
+        estimator = PlanCostEstimator(self.plan, model)
+        n = len(self.groups)
+        # state: placed frozenset -> (cost, order tuple, rows, accesses)
+        states: Dict[frozenset, Tuple[float, Tuple[Group, ...], Dict[str, float], Dict[str, float]]] = {
+            frozenset(): (0.0, (), {}, {})
+        }
+        for _size in range(n):
+            next_states: Dict[frozenset, Tuple[float, Tuple[Group, ...], Dict[str, float], Dict[str, float]]] = {}
+            for placed_set, (cost, order, rows, accesses) in states.items():
+                for index in self._ready(set(placed_set)):
+                    group = self.groups[index]
+                    marginal, next_rows, group_accesses = estimator.place(group, rows)
+                    key = placed_set | {index}
+                    candidate = (
+                        cost + marginal,
+                        order + (group,),
+                        next_rows,
+                        {**accesses, **group_accesses},
+                    )
+                    incumbent = next_states.get(key)
+                    if incumbent is None or candidate[:2] < incumbent[:2]:
+                        next_states[key] = candidate
+            states = next_states
+        (final,) = states.values()
+        cost, order, _rows, accesses = final
+        return AccessOrder(
+            mode="cost",
+            method="dp",
+            groups=order,
+            estimated_cost=cost,
+            estimated_accesses=accesses,
+            estimated_fanout=self._fanout_snapshot(model),
+        )
+
+
+# ------------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RelationForecast:
+    """Estimated vs. actual figures for one relation of a run."""
+
+    relation: str
+    estimated_fanout: float
+    estimated_accesses: float
+    observed_estimate: bool
+    actual_accesses: int
+    actual_rows: int
+
+    @property
+    def actual_fanout(self) -> float:
+        return (self.actual_rows / self.actual_accesses) if self.actual_accesses else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "relation": self.relation,
+            "estimated_fanout": round(self.estimated_fanout, 4),
+            "estimated_accesses": round(self.estimated_accesses, 2),
+            "observed_estimate": self.observed_estimate,
+            "actual_accesses": self.actual_accesses,
+            "actual_rows": self.actual_rows,
+            "actual_fanout": round(self.actual_fanout, 4),
+        }
+
+
+@dataclass(frozen=True)
+class OptimizerReport:
+    """What the optimizer planned and how reality compared.
+
+    Surfaced through :class:`~repro.engine.result.Result`,
+    ``PreparedPlan.explain()`` and the CLI.
+    """
+
+    mode: str
+    method: str
+    groups: Tuple[Group, ...]
+    estimated_cost: float
+    replans: int
+    relations: Tuple[RelationForecast, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "method": self.method,
+            "groups": [list(group) for group in self.groups],
+            "estimated_cost": round(self.estimated_cost, 4),
+            "replans": self.replans,
+            "relations": [forecast.to_dict() for forecast in self.relations],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"optimizer    : {self.mode} ({self.method}), "
+            f"estimated cost {self.estimated_cost:.2f}, {self.replans} replan(s)",
+            "access order : "
+            + (" < ".join("{" + ", ".join(group) + "}" for group in self.groups) or "(empty)"),
+        ]
+        if self.relations:
+            lines.append("relation     : est. accesses / fanout -> actual accesses / fanout")
+            for forecast in self.relations:
+                source = "observed" if forecast.observed_estimate else "cold"
+                lines.append(
+                    f"  {forecast.relation}: {forecast.estimated_accesses:.1f} / "
+                    f"{forecast.estimated_fanout:.2f} ({source}) -> "
+                    f"{forecast.actual_accesses} / {forecast.actual_fanout:.2f}"
+                )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class AccessOptimizer:
+    """The per-execution optimizer handle: one planned order plus the
+    adaptive re-planning state.
+
+    Strategies construct one per execution (the underlying statistics live
+    on the engine session and persist); scheduling policies drive it:
+    :meth:`note` after every absorbed completion, :meth:`maybe_replan` at
+    phase boundaries, :meth:`report` once the run is over.
+    """
+
+    mode = "cost"
+
+    def __init__(
+        self,
+        plan: "QueryPlan",
+        statistics: Optional["StatisticsCollector"] = None,
+        registry: Optional["SourceRegistry"] = None,
+        default_latency: float = 0.0,
+        dp_limit: int = DP_GROUP_LIMIT,
+        replan_threshold: float = REPLAN_THRESHOLD,
+        replan_min_samples: int = REPLAN_MIN_SAMPLES,
+    ) -> None:
+        self.plan = plan
+        self.statistics = statistics
+        self._latency_of = registry.latency_of if registry is not None else None
+        self.default_latency = default_latency
+        self.replan_threshold = replan_threshold
+        self.replan_min_samples = replan_min_samples
+        self.planner = AccessPlanner(plan, self._model(), dp_limit=dp_limit)
+        self.order: AccessOrder = self.planner.order()
+        #: Re-planning events performed this run.
+        self.replans = 0
+        self._observed: Dict[str, List[int]] = {}
+        self._replanned_relations: Set[str] = set()
+
+    def _model(self, overrides: Optional[Mapping[str, float]] = None) -> CostModel:
+        return CostModel(
+            statistics=self.statistics,
+            latency_of=self._latency_of,
+            default_latency=self.default_latency,
+            overrides=overrides,
+        )
+
+    # -- adaptive hook --------------------------------------------------------
+    def note(self, relation: str, row_count: int) -> None:
+        """Record one observed completion (rows returned by one access)."""
+        observed = self._observed.setdefault(relation, [0, 0])
+        observed[0] += 1
+        observed[1] += row_count
+
+    def observed_fanout(self, relation: str) -> Optional[float]:
+        observed = self._observed.get(relation)
+        if not observed or observed[0] < self.replan_min_samples:
+            return None
+        return observed[1] / observed[0]
+
+    def diverging_relation(self) -> Optional[str]:
+        """A relation whose observed fanout contradicts the estimate, if any."""
+        for relation in sorted(self._observed):
+            if relation in self._replanned_relations:
+                continue
+            witnessed = self.observed_fanout(relation)
+            if witnessed is None:
+                continue
+            estimated = self.order.estimated_fanout.get(relation)
+            if estimated is None:
+                continue
+            ratio = witnessed / estimated if estimated > 0 else float("inf")
+            if ratio >= self.replan_threshold or (
+                estimated >= 1.0 and witnessed > 0 and 1.0 / max(ratio, 1e-12) >= self.replan_threshold
+            ):
+                return relation
+        return None
+
+    def maybe_replan(self, placed: Sequence[Group]) -> bool:
+        """Re-rank the remaining groups when observations diverged.
+
+        ``placed`` is the already-executed prefix of the current order (it
+        stays fixed).  Returns True when a re-planning happened — whether
+        or not it changed the remaining order, the event is counted and
+        the divergence will not trigger again.
+        """
+        relation = self.diverging_relation()
+        if relation is None:
+            return False
+        self._replanned_relations.add(relation)
+        overrides = {
+            observed_relation: counts[1] / counts[0]
+            for observed_relation, counts in self._observed.items()
+            if counts[0] >= self.replan_min_samples
+        }
+        self.order = self.planner.reorder(placed, self._model(overrides))
+        self.replans += 1
+        return True
+
+    # -- naive-policy support ---------------------------------------------------
+    def relation_priority(self) -> Dict[str, Tuple[float, float]]:
+        """Dispatch-priority key per relation (lower first): cheap,
+        productive sources lead, which is all an unordered (eager) policy
+        can use the cost model for."""
+        model = self._model()
+        priority: Dict[str, Tuple[float, float]] = {}
+        for relation in sorted(self.plan.schema.relation_names):
+            estimate = model.estimate(relation)
+            priority[relation] = (estimate.unit_cost, -estimate.fanout)
+        return priority
+
+    # -- reporting -------------------------------------------------------------
+    def report(self, log: Optional["AccessLog"] = None) -> OptimizerReport:
+        """Estimates vs. actuals after (or during) a run."""
+        actual_accesses: Dict[str, int] = {}
+        actual_rows: Dict[str, int] = {}
+        if log is not None:
+            for record in log:
+                actual_accesses[record.relation] = actual_accesses.get(record.relation, 0) + 1
+                actual_rows[record.relation] = actual_rows.get(record.relation, 0) + record.row_count
+        estimated_by_relation: Dict[str, float] = {}
+        for name, estimate in self.order.estimated_accesses.items():
+            relation = self.plan.caches[name].relation.name
+            estimated_by_relation[relation] = estimated_by_relation.get(relation, 0.0) + estimate
+        cold_snapshot = self.order.estimated_fanout
+        model = self._model()
+        relations = []
+        for relation in sorted(set(cold_snapshot) | set(actual_accesses)):
+            estimate = model.estimate(relation)
+            relations.append(
+                RelationForecast(
+                    relation=relation,
+                    estimated_fanout=cold_snapshot.get(relation, estimate.fanout),
+                    estimated_accesses=estimated_by_relation.get(relation, 0.0),
+                    observed_estimate=estimate.observed,
+                    actual_accesses=actual_accesses.get(relation, 0),
+                    actual_rows=actual_rows.get(relation, 0),
+                )
+            )
+        return OptimizerReport(
+            mode=self.mode,
+            method=self.order.method,
+            groups=self.order.groups,
+            estimated_cost=self.order.estimated_cost,
+            replans=self.replans,
+            relations=tuple(relations),
+        )

@@ -54,12 +54,16 @@ class ExecutionOptions:
             access tuples from the meta-cache instead.
         max_accesses: optional safety bound on the number of accesses.
         resilience: retry/timeout/breaker configuration for source reads.
+        optimizer: an :class:`~repro.optimizer.planner.AccessOptimizer`
+            whose cost-based access order replaces the plan's structural
+            positions (None: structural order).
     """
 
     fast_fail: bool = True
     use_meta_cache: bool = True
     max_accesses: Optional[int] = None
     resilience: Optional[ResilienceConfig] = None
+    optimizer: Optional[object] = None
 
 
 @dataclass
@@ -77,6 +81,8 @@ class ExecutionResult:
         failed_relations: relations with a permanently failed access this
             run; non-empty means ``answers`` may be a lower bound.
         retry_stats: the run's resilience accounting.
+        replans: adaptive re-planning events performed mid-run (0 without
+            a cost-based optimizer).
     """
 
     answers: FrozenSet[Row]
@@ -88,6 +94,7 @@ class ExecutionResult:
     plan: QueryPlan
     failed_relations: Tuple[str, ...] = ()
     retry_stats: RetryStats = field(default_factory=RetryStats)
+    replans: int = 0
 
     @property
     def total_accesses(self) -> int:
@@ -141,6 +148,7 @@ class FastFailingExecutor:
             cache_db,
             fast_fail=self.options.fast_fail,
             use_meta_cache=self.options.use_meta_cache,
+            optimizer=self.options.optimizer,
         )
         kernel = FixpointKernel(
             policy,
@@ -161,4 +169,5 @@ class FastFailingExecutor:
             plan=self.plan,
             failed_relations=outcome.failed_relations,
             retry_stats=outcome.retry_stats,
+            replans=outcome.replans,
         )

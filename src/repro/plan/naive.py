@@ -55,6 +55,8 @@ class NaiveEvaluationResult:
         failed_relations: relations with a permanently failed access this
             run; non-empty means ``answers`` may be a lower bound.
         retry_stats: the run's resilience accounting.
+        replans: adaptive re-planning events performed mid-run (always 0
+            for the eager policy; present for result uniformity).
     """
 
     answers: FrozenSet[Row]
@@ -64,6 +66,7 @@ class NaiveEvaluationResult:
     rounds: int
     failed_relations: Tuple[str, ...] = ()
     retry_stats: RetryStats = field(default_factory=RetryStats)
+    replans: int = 0
 
     @property
     def total_accesses(self) -> int:
@@ -85,6 +88,7 @@ class NaiveEvaluator:
         registry: SourceRegistry,
         max_accesses: Optional[int] = None,
         resilience: Optional[ResilienceConfig] = None,
+        optimizer: Optional[object] = None,
     ) -> None:
         """Create a naive evaluator.
 
@@ -96,11 +100,16 @@ class NaiveEvaluator:
                 randomized experiments where the Cartesian products can grow).
             resilience: retry/timeout/breaker configuration for source reads;
                 faults resolve to failure-flagged partial results either way.
+            optimizer: an :class:`~repro.optimizer.planner.AccessOptimizer`
+                whose per-relation cost ranking orders the extraction sweeps
+                (cheap/high-yield relations first); the access *set* is
+                unchanged — the fixpoint is order-independent.
         """
         self.schema = schema
         self.registry = registry
         self.max_accesses = max_accesses
         self.resilience = resilience
+        self.optimizer = optimizer
 
     # ------------------------------------------------------------------------------
     def evaluate(
@@ -117,7 +126,7 @@ class NaiveEvaluator:
         query.validate_against(self.schema)
         if log is None:
             log = AccessLog()
-        policy = EagerAllRelations(self.schema, query)
+        policy = EagerAllRelations(self.schema, query, optimizer=self.optimizer)
         kernel = FixpointKernel(
             policy,
             self.registry,
@@ -134,4 +143,5 @@ class NaiveEvaluator:
             rounds=policy.rounds,
             failed_relations=outcome.failed_relations,
             retry_stats=outcome.retry_stats,
+            replans=outcome.replans,
         )

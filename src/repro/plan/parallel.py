@@ -72,6 +72,8 @@ class DistillationResult:
         failed_relations: relations with a permanently failed access this
             run; non-empty means ``answers`` may be a lower bound.
         retry_stats: the run's resilience accounting.
+        replans: adaptive re-planning events performed mid-run (0 without
+            a cost-based optimizer).
     """
 
     answers: FrozenSet[Row]
@@ -83,6 +85,7 @@ class DistillationResult:
     budget_exhausted: bool = False
     failed_relations: Tuple[str, ...] = ()
     retry_stats: RetryStats = field(default_factory=RetryStats)
+    replans: int = 0
 
     @property
     def total_accesses(self) -> int:
@@ -116,6 +119,7 @@ class DistillationExecutor:
         concurrency: str = "simulated",
         max_workers: int = 8,
         resilience: Optional[ResilienceConfig] = None,
+        optimizer: Optional[object] = None,
     ) -> None:
         """Create a distillation executor.
 
@@ -149,6 +153,10 @@ class DistillationExecutor:
             resilience: retry/timeout/breaker configuration for source
                 reads; faults resolve to failure-flagged partial results
                 either way.
+            optimizer: an :class:`~repro.optimizer.planner.AccessOptimizer`
+                whose cost-based order ranks the offer sequence (and, with
+                ``respect_ordering``, the dispatch phases); None keeps the
+                structural order.
         """
         if concurrency not in ("simulated", "real"):
             raise ExecutionError(
@@ -164,6 +172,7 @@ class DistillationExecutor:
         self.concurrency = concurrency
         self.max_workers = max_workers
         self.resilience = resilience
+        self.optimizer = optimizer
         #: Aggregate result of the most recent run (set when a run completes).
         self.last_result: Optional[DistillationResult] = None
 
@@ -212,6 +221,7 @@ class DistillationExecutor:
                 queue_capacity=self.queue_capacity,
                 respect_ordering=self.respect_ordering,
                 max_workers=self.max_workers,
+                optimizer=self.optimizer,
             )
         else:
             policy = SimulatedParallel(
@@ -220,6 +230,7 @@ class DistillationExecutor:
                 default_latency=self.default_latency,
                 queue_capacity=self.queue_capacity,
                 respect_ordering=self.respect_ordering,
+                optimizer=self.optimizer,
             )
         kernel = FixpointKernel(
             policy,
@@ -240,6 +251,7 @@ class DistillationExecutor:
             budget_exhausted=outcome.budget_exhausted,
             failed_relations=outcome.failed_relations,
             retry_stats=outcome.retry_stats,
+            replans=outcome.replans,
         )
         self.last_result = result
         return result

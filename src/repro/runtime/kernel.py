@@ -200,6 +200,8 @@ class KernelOutcome:
             have been reached and ``answers`` is a lower bound.
         retry_stats: the run's resilience accounting (attempts, retries,
             failures, breaker trips, refunds, backoff).
+        replans: adaptive re-planning events the policy's access optimizer
+            performed mid-run (0 without a cost-based optimizer).
     """
 
     answers: FrozenSet[Row]
@@ -210,6 +212,7 @@ class KernelOutcome:
     budget_exhausted: bool = False
     failed_relations: Tuple[str, ...] = ()
     retry_stats: RetryStats = field(default_factory=RetryStats)
+    replans: int = 0
 
     @property
     def source_failure(self) -> bool:
@@ -343,6 +346,7 @@ class FixpointKernel:
             budget_exhausted=budget_exhausted,
             failed_relations=self.resilience.snapshot_failed_relations(),
             retry_stats=self.resilience.stats,
+            replans=getattr(self.policy, "optimizer_replans", 0),
         )
 
     def _offer_fixpoint(self) -> None:

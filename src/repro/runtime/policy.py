@@ -39,6 +39,7 @@ from repro.runtime.kernel import AccessBudget, AccessRequest, Completion
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.model.domains import AbstractDomain
     from repro.model.schema import RelationSchema, Schema
+    from repro.optimizer.planner import AccessOptimizer
     from repro.plan.plan import CachePredicate, QueryPlan
     from repro.query.conjunctive import ConjunctiveQuery
     from repro.sources.cache import CacheDatabase, MetaCache
@@ -151,10 +152,19 @@ class EagerAllRelations(SchedulingPolicy):
         schema: "Schema",
         query: "ConjunctiveQuery",
         default_latency: float = 0.0,
+        optimizer: Optional["AccessOptimizer"] = None,
     ) -> None:
         self.schema = schema
         self.query = query
         self.default_latency = default_latency
+        self.optimizer = optimizer
+        # An unordered policy cannot reorder phases, but it can dispatch
+        # cheap, productive sources first: a fixed cost-ranked relation
+        # iteration order.  The access *set* is order-independent (the
+        # naive fixpoint enumerates every pool combination either way).
+        self._relation_rank: Dict[str, object] = (
+            optimizer.relation_priority() if optimizer is not None else {}
+        )
         self.cache: Dict[str, Set[Row]] = {relation.name: set() for relation in schema}
         self.pool = _ValuePool()
         #: Delta passes that enumerated at least one fresh binding (the
@@ -185,7 +195,13 @@ class EagerAllRelations(SchedulingPolicy):
     def offer(self, emit: Emit) -> bool:
         emitted = False
         excluded = self.dispatcher.resilience.excluded
-        for relation in self.schema:
+        relations = list(self.schema)
+        if self._relation_rank:
+            default_rank = (float("inf"), 0.0)
+            relations.sort(
+                key=lambda r: (self._relation_rank.get(r.name, default_rank), r.name)
+            )
+        for relation in relations:
             if excluded(relation.name):
                 # Open breaker / dead source: leave the relation's delta
                 # unconsumed so a half-open recovery can resume it.
@@ -237,14 +253,43 @@ class PlanPolicy(SchedulingPolicy):
     (possibly session-shared) :class:`~repro.sources.cache.CacheDatabase`,
     serves meta-cache hits at offer time, absorbs completions into the
     cache tables, and evaluates the rewritten query over them.
+
+    When an :class:`~repro.optimizer.planner.AccessOptimizer` is attached,
+    the policy follows its (cost-based) access order instead of the plan's
+    structural positions, feeds it every observed completion, and exposes
+    its re-planning count to the kernel.  Any admissible order reaches the
+    same least fixpoint — the order decides *when* accesses run, never
+    *whether*.
     """
 
-    def __init__(self, plan: "QueryPlan", cache_db: "CacheDatabase") -> None:
+    def __init__(
+        self,
+        plan: "QueryPlan",
+        cache_db: "CacheDatabase",
+        optimizer: Optional["AccessOptimizer"] = None,
+    ) -> None:
         self.plan = plan
         self.cache_db = cache_db
+        self.optimizer = optimizer
         self.generators: Dict[str, CacheBindingGenerator] = initialize_plan_caches(
             plan, cache_db
         )
+
+    @property
+    def optimizer_replans(self) -> int:
+        """Adaptive re-planning events this run (0 without an optimizer)."""
+        return self.optimizer.replans if self.optimizer is not None else 0
+
+    def _order_groups(self) -> List[List["CachePredicate"]]:
+        """The access order as cache groups: the optimizer's when present,
+        the plan's structural positions otherwise (same caches, same
+        iteration order as ``plan.caches_at`` — byte-identical offers)."""
+        if self.optimizer is not None:
+            return [
+                [self.plan.caches[name] for name in group]
+                for group in self.optimizer.order.groups
+            ]
+        return [self.plan.caches_at(position) for position in self.plan.positions()]
 
     def _offer_caches(
         self,
@@ -282,6 +327,8 @@ class PlanPolicy(SchedulingPolicy):
 
     def absorb(self, completion: Completion) -> None:
         self.cache_db.cache(completion.request.target).add_all(completion.rows)
+        if self.optimizer is not None and completion.counted:
+            self.optimizer.note(completion.request.relation, len(completion.rows))
 
     def evaluate(self) -> FrozenSet[Row]:
         return self.plan.rewritten_query.evaluate(self.cache_db.contents())
@@ -317,14 +364,30 @@ class OrderedFastFail(PlanPolicy):
         cache_db: "CacheDatabase",
         fast_fail: bool = True,
         use_meta_cache: bool = True,
+        optimizer: Optional["AccessOptimizer"] = None,
     ) -> None:
-        super().__init__(plan, cache_db)
+        super().__init__(plan, cache_db, optimizer=optimizer)
         self.fast_fail = fast_fail
         self.use_meta_cache = use_meta_cache
         self.dedup_accesses = use_meta_cache
-        self._positions = plan.positions()
+        self._groups = self._order_groups()
+        # Reported positions: the plan's structural position values by
+        # default (back-compat for ``failed_at``), 1..k along a cost order.
+        self._position_labels = (
+            plan.positions()
+            if optimizer is None
+            else list(range(1, len(self._groups) + 1))
+        )
+        self._rebuild_ranks()
         self._index = -1
         self.failed_at: Optional[int] = None
+
+    def _rebuild_ranks(self) -> None:
+        self._rank: Dict[str, int] = {
+            cache.name: rank
+            for rank, group in enumerate(self._groups)
+            for cache in group
+        }
 
     def make_dispatcher(
         self, registry: "SourceRegistry", log: "AccessLog", budget: AccessBudget
@@ -336,19 +399,32 @@ class OrderedFastFail(PlanPolicy):
 
     def advance(self) -> bool:
         self._index += 1
-        if self._index >= len(self._positions):
+        if (
+            self.optimizer is not None
+            and 0 < self._index < len(self._groups)
+            and self.optimizer.maybe_replan(
+                tuple(
+                    tuple(cache.name for cache in group)
+                    for group in self._groups[: self._index]
+                )
+            )
+        ):
+            # Observed cardinalities contradicted the estimates: the
+            # remaining phases were re-ranked (the executed prefix is
+            # preserved by construction).
+            self._groups = self._order_groups()
+            self._rebuild_ranks()
+        if self._index >= len(self._groups):
             return False
-        position = self._positions[self._index]
-        if self.fast_fail and not self._prefix_satisfiable(position):
-            self.failed_at = position
+        if self.fast_fail and not self._prefix_satisfiable(self._index):
+            self.failed_at = self._position_labels[self._index]
             return False
         return True
 
     def offer(self, emit: Emit) -> bool:
-        position = self._positions[self._index]
         caches = [
             cache
-            for cache in self.plan.caches_at(position)
+            for cache in self._groups[self._index]
             if not cache.is_artificial
         ]
         return self._offer_caches(caches, emit, serve_from_meta=self.use_meta_cache)
@@ -364,18 +440,18 @@ class OrderedFastFail(PlanPolicy):
             f"{self.dispatcher.budget.limit}"
         )
 
-    def _prefix_satisfiable(self, position: int) -> bool:
+    def _prefix_satisfiable(self, index: int) -> bool:
         """Early non-emptiness test over the already-populated caches.
 
         Evaluates the sub-conjunction of the rewritten query restricted to
-        the atoms whose cache position is strictly smaller than
-        ``position``; if it is unsatisfiable, the whole query is certainly
-        empty.
+        the atoms whose cache was populated in a phase strictly before
+        ``index`` (along the active access order); if it is unsatisfiable,
+        the whole query is certainly empty.
         """
         prefix_atoms = []
         for atom in self.plan.rewritten_query.body:
-            cache = self.plan.caches.get(atom.predicate)
-            if cache is not None and cache.position < position:
+            rank = self._rank.get(atom.predicate)
+            if rank is not None and rank < index:
                 prefix_atoms.append(atom)
         if not prefix_atoms:
             return True
@@ -397,11 +473,30 @@ class SimulatedParallel(PlanPolicy):
         default_latency: float = 0.01,
         queue_capacity: int = 64,
         respect_ordering: bool = False,
+        optimizer: Optional["AccessOptimizer"] = None,
     ) -> None:
-        super().__init__(plan, cache_db)
+        super().__init__(plan, cache_db, optimizer=optimizer)
         self.default_latency = default_latency
         self.queue_capacity = queue_capacity
         self.respect_ordering = respect_ordering
+        self._refresh_order()
+
+    def _refresh_order(self) -> None:
+        """(Re)materialize the offer order and phase ranks from the
+        optimizer's current access order (structural when absent)."""
+        if self.optimizer is None:
+            self._offer_sequence = list(self.plan.caches.values())
+            self._cache_rank = {
+                cache.name: cache.position for cache in self.plan.caches.values()
+            }
+        else:
+            groups = self.optimizer.order.groups
+            self._offer_sequence = [
+                self.plan.caches[name] for group in groups for name in group
+            ]
+            self._cache_rank = {
+                name: rank for rank, group in enumerate(groups, start=1) for name in group
+            }
 
     def make_dispatcher(
         self, registry: "SourceRegistry", log: "AccessLog", budget: AccessBudget
@@ -416,20 +511,27 @@ class SimulatedParallel(PlanPolicy):
         )
 
     def offer(self, emit: Emit) -> bool:
+        if self.optimizer is not None and self.optimizer.maybe_replan(()):
+            # Eager offers have no executed-prefix notion: a divergence
+            # re-ranks the whole dispatch order (the access *set* — the
+            # plan's least fixpoint — is order-independent).
+            self._refresh_order()
         caches = [
             cache
-            for cache in self.plan.caches.values()
+            for cache in self._offer_sequence
             if not cache.is_artificial and not self._held_back(cache)
         ]
         return self._offer_caches(caches, emit)
 
     def _held_back(self, cache: "CachePredicate") -> bool:
         """With ``respect_ordering``, a cache's accesses are only offered
-        once every cache of a strictly smaller position has drained."""
+        once every cache of a strictly smaller phase (along the active
+        access order) has drained."""
         if not self.respect_ordering:
             return False
+        rank = self._cache_rank[cache.name]
         for other in self.plan.caches.values():
-            if other.is_artificial or other.position >= cache.position:
+            if other.is_artificial or self._cache_rank[other.name] >= rank:
                 continue
             if self.dispatcher.relation_active(other.relation.name):
                 return True
@@ -447,12 +549,14 @@ class RealThreadPool(SimulatedParallel):
         queue_capacity: int = 64,
         respect_ordering: bool = False,
         max_workers: int = 8,
+        optimizer: Optional["AccessOptimizer"] = None,
     ) -> None:
         super().__init__(
             plan,
             cache_db,
             queue_capacity=queue_capacity,
             respect_ordering=respect_ordering,
+            optimizer=optimizer,
         )
         self.max_workers = max_workers
 

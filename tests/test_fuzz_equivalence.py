@@ -49,7 +49,16 @@ def generate_case(seed: int) -> Tuple[Example, Dict[str, float]]:
     """
     rng = random.Random(seed)
     kind = rng.choice(
-        ["chain", "star", "diamond", "skewed-fanout", "cycle", "wide-fanout", "chaos"]
+        [
+            "chain",
+            "star",
+            "diamond",
+            "skewed-fanout",
+            "cycle",
+            "wide-fanout",
+            "chaos",
+            "adaptive",
+        ]
     )
     if kind == "chain":
         example = make_scenario(kind, length=rng.randint(1, 3), width=rng.randint(1, 5))
@@ -78,6 +87,13 @@ def generate_case(seed: int) -> Tuple[Example, Dict[str, float]]:
         example = make_scenario(kind, size=size, seeds=rng.randint(1, min(3, size)))
     elif kind == "wide-fanout":
         example = make_scenario(kind, width=rng.randint(1, 4), fanout=rng.randint(1, 5))
+    elif kind == "adaptive":
+        example = make_scenario(
+            kind,
+            width=rng.randint(2, 3),
+            trap_fanout=rng.choice([6, 12, 14]),
+            safe_fanout=rng.randint(1, 2),
+        )
     else:
         example = make_scenario(
             kind,
@@ -161,6 +177,28 @@ def check_zero_fault_rate_is_identity(seed: int) -> None:
         )
 
 
+def check_cost_optimizer_equivalence(seed: int) -> None:
+    """The cost-based order computes the same answers with no more accesses."""
+    example, latencies = generate_case(seed)
+    for strategy in STRATEGIES:
+        structural = _execute(example, _registry(example, latencies, "memory"), strategy)
+        cost = _execute(
+            example,
+            _registry(example, latencies, "memory"),
+            strategy,
+            optimizer="cost",
+        )
+        assert cost.answers == structural.answers, (
+            f"seed {seed}: optimizer='cost' changed {strategy}'s answers on {example.name}"
+        )
+        assert cost.total_accesses <= structural.total_accesses, (
+            f"seed {seed}: optimizer='cost' made {strategy} perform more accesses "
+            f"on {example.name}: {cost.total_accesses} > {structural.total_accesses}"
+        )
+        assert cost.optimizer_report is not None
+        assert structural.optimizer_report is None
+
+
 def check_faulty_runs_hold_the_completeness_contract(seed: int) -> None:
     example, latencies = generate_case(seed)
     rng = random.Random(seed * 7919 + 1)
@@ -206,9 +244,15 @@ def test_fuzz_completeness_contract_under_faults(seed: int) -> None:
     check_faulty_runs_hold_the_completeness_contract(seed)
 
 
+@pytest.mark.parametrize("seed", CI_SEEDS)
+def test_fuzz_cost_optimizer_equivalence(seed: int) -> None:
+    check_cost_optimizer_equivalence(seed)
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", FULL_SEEDS)
 def test_fuzz_full_sweep(seed: int) -> None:
     check_cross_backend_equivalence(seed)
     check_zero_fault_rate_is_identity(seed)
     check_faulty_runs_hold_the_completeness_contract(seed)
+    check_cost_optimizer_equivalence(seed)

@@ -1,0 +1,391 @@
+"""The cost-based access optimizer: statistics, cost model, planner, adaptivity.
+
+Unit tests for the :mod:`repro.optimizer` layer plus the end-to-end contract:
+``optimizer="cost"`` returns the same answers as the structural order with no
+more accesses, surfaces an estimates-vs-actuals report through the result and
+``explain()``, and re-plans mid-run when observations contradict the estimates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine
+from repro.examples import make_scenario, running_example
+from repro.exceptions import StrategyError
+from repro.graph.ordering import ordering_constraints
+from repro.optimizer import AccessOptimizer, AccessPlanner, CostModel, StatisticsCollector
+from repro.optimizer.cost import COLD_FANOUT, JoinGraph, LATENCY_WEIGHT, MIN_OBSERVATIONS
+from repro.optimizer.planner import structural_order
+from repro.sources.access import AccessRecord, AccessTuple
+from repro.sources.log import AccessLog
+from repro.sources.resilience import RetryStats
+from repro.sources.wrapper import SourceRegistry
+
+
+def _record(relation: str, binding: tuple, rows: int, sequence: int) -> AccessRecord:
+    return AccessRecord(
+        access=AccessTuple(relation=relation, binding=binding),
+        rows=frozenset((f"{relation}-row-{sequence}-{i}",) for i in range(rows)),
+        sequence_number=sequence,
+    )
+
+
+def _log(*records: AccessRecord) -> AccessLog:
+    log = AccessLog()
+    for record in records:
+        log.record(record)
+    return log
+
+
+class _FakeMetaCache:
+    def __init__(self, hits: int) -> None:
+        self.hits = hits
+
+
+# -- StatisticsCollector --------------------------------------------------------
+
+
+def test_collector_aggregates_per_relation() -> None:
+    collector = StatisticsCollector()
+    collector.observe_log(
+        _log(
+            _record("r", ("a",), rows=3, sequence=0),
+            _record("r", ("b",), rows=0, sequence=1),
+            _record("s", (), rows=5, sequence=2),
+        ),
+        default_latency=0.01,
+    )
+    r = collector.get("r")
+    assert r is not None
+    assert (r.accesses, r.rows, r.empty_accesses, r.max_rows) == (2, 3, 1, 3)
+    assert r.rows_per_access == pytest.approx(1.5)
+    assert r.empty_rate == pytest.approx(0.5)
+    assert r.avg_latency == pytest.approx(0.01)
+    # Bound accesses and free accesses are bucketed by binding arity.
+    assert r.fanout(bound_arity=1) == pytest.approx(1.5)
+    s = collector.get("s")
+    assert s is not None and s.fanout_by_arity == {0: (1, 5)}
+    assert collector.observations == 1
+    assert collector.get("unseen") is None
+
+
+def test_collector_stretches_latency_by_retry_factor() -> None:
+    collector = StatisticsCollector()
+    collector.observe_log(
+        _log(_record("r", ("a",), rows=1, sequence=0)),
+        default_latency=0.01,
+        retry_stats=RetryStats(attempts=3, retries=2),
+    )
+    # 1 counted access, 3 attempts: the access is priced 3x its latency.
+    assert collector.get("r").latency == pytest.approx(0.03)
+
+
+def test_collector_uses_registry_latency() -> None:
+    example = running_example()
+    registry = SourceRegistry(example.instance, per_relation_latency={"r1": 0.05})
+    collector = StatisticsCollector()
+    collector.observe_log(
+        _log(
+            _record("r1", ("a",), rows=1, sequence=0),
+            _record("r2", ("volare",), rows=1, sequence=1),
+        ),
+        registry=registry,
+        default_latency=0.001,
+    )
+    assert collector.get("r1").avg_latency == pytest.approx(0.05)
+    assert collector.get("r2").avg_latency == pytest.approx(0.001)
+
+
+def test_collector_meta_hits_and_reset() -> None:
+    collector = StatisticsCollector()
+    collector.observe_log(_log(_record("r", ("a",), rows=1, sequence=0)))
+    collector.sync_meta_hits({"r": _FakeMetaCache(hits=7)})
+    summary = collector.per_relation_summary()
+    assert summary["r"]["meta_hits"] == 7
+    assert summary["r"]["accesses"] == 1
+    collector.reset()
+    assert collector.get("r") is None
+    assert collector.observations == 0
+    assert collector.per_relation_summary() == {}
+
+
+# -- CostModel ------------------------------------------------------------------
+
+
+def _observe_n(collector: StatisticsCollector, relation: str, n: int, rows: int) -> None:
+    collector.observe_log(
+        _log(*(_record(relation, (f"v{i}",), rows=rows, sequence=i) for i in range(n)))
+    )
+
+
+def test_cost_model_cold_default() -> None:
+    estimate = CostModel().estimate("anything")
+    assert estimate.fanout == COLD_FANOUT
+    assert not estimate.observed
+    assert estimate.unit_cost == pytest.approx(1.0)
+
+
+def test_cost_model_ignores_sparse_observations() -> None:
+    collector = StatisticsCollector()
+    _observe_n(collector, "r", n=MIN_OBSERVATIONS - 1, rows=9)
+    estimate = CostModel(statistics=collector).estimate("r")
+    assert not estimate.observed
+    assert estimate.fanout == COLD_FANOUT
+
+
+def test_cost_model_trusts_enough_observations() -> None:
+    collector = StatisticsCollector()
+    _observe_n(collector, "r", n=MIN_OBSERVATIONS, rows=9)
+    estimate = CostModel(statistics=collector).estimate("r")
+    assert estimate.observed
+    assert estimate.fanout == pytest.approx(9.0)
+
+
+def test_cost_model_overrides_outrank_everything() -> None:
+    collector = StatisticsCollector()
+    _observe_n(collector, "r", n=MIN_OBSERVATIONS, rows=9)
+    estimate = CostModel(statistics=collector, overrides={"r": 2.5}).estimate("r")
+    assert estimate.observed
+    assert estimate.fanout == pytest.approx(2.5)
+
+
+def test_cost_model_latency_prices_the_unit_cost() -> None:
+    estimate = CostModel(latency_of=lambda relation, default: 0.1).estimate("r")
+    assert estimate.unit_cost == pytest.approx(1.0 + 0.1 * LATENCY_WEIGHT)
+
+
+# -- JoinGraph and AccessPlanner ------------------------------------------------
+
+
+def _plan_for(example):
+    engine = Engine(example.schema, example.instance)
+    return engine.plan(example.query_text).plan
+
+
+def test_join_graph_connects_caches_sharing_variables() -> None:
+    plan = _plan_for(make_scenario("chain", length=3, width=2))
+    graph = JoinGraph(plan)
+    assert set(graph.nodes) == {name for name in plan.caches if not plan.caches[name].is_artificial}
+    for left, right, _shared in graph.edges():
+        assert right in graph.neighbors(left)
+        assert left in graph.neighbors(right)
+        assert graph.degree(left) >= 1
+
+
+def test_structural_order_mirrors_plan_positions() -> None:
+    plan = _plan_for(make_scenario("star", rays=3, width=2))
+    order = structural_order(plan)
+    assert order.mode == "structural"
+    assert order.method == "structural"
+    for position in plan.positions():
+        expected = tuple(cache.name for cache in plan.caches_at(position))
+        assert order.groups[position - 1] == expected
+    ranks = order.ranks()
+    for name, rank in ranks.items():
+        assert order.position_of(name) == rank + 1
+    with pytest.raises(KeyError):
+        order.position_of("no-such-cache")
+
+
+def _is_admissible_cache_order(plan, groups) -> bool:
+    constraints = ordering_constraints(plan.analysis.optimized)
+    source_groups = tuple(
+        tuple(sorted(plan.caches[name].source_id for name in group)) for group in groups
+    )
+    normalized = tuple(tuple(sorted(group)) for group in constraints.groups)
+    remap = {tuple(sorted(group)): group for group in constraints.groups}
+    assert sorted(source_groups) == sorted(normalized)
+    return constraints.is_admissible(tuple(remap[group] for group in source_groups))
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [
+        ("chain", {"length": 3, "width": 2}),
+        ("star", {"rays": 3, "width": 2}),
+        ("diamond", {"width": 2}),
+        ("adaptive", {"width": 2, "trap_fanout": 3, "safe_fanout": 2}),
+    ],
+)
+def test_planner_orders_are_admissible(name: str, params: dict) -> None:
+    plan = _plan_for(make_scenario(name, **params))
+    planner = AccessPlanner(plan, CostModel())
+    dp = planner.order()
+    assert dp.mode == "cost"
+    assert _is_admissible_cache_order(plan, dp.groups)
+    greedy = AccessPlanner(plan, CostModel(), dp_limit=0).order()
+    assert greedy.method == "greedy"
+    assert _is_admissible_cache_order(plan, greedy.groups)
+    # The exact DP can never be beaten by the greedy heuristic.
+    if dp.method == "dp":
+        assert dp.estimated_cost <= greedy.estimated_cost + 1e-9
+
+
+def test_planner_reorder_keeps_the_placed_prefix() -> None:
+    plan = _plan_for(make_scenario("star", rays=3, width=2))
+    planner = AccessPlanner(plan, CostModel())
+    order = planner.order()
+    prefix = order.groups[:1]
+    reordered = planner.reorder(prefix, CostModel(overrides={"hub": 100.0}))
+    assert reordered.groups[:1] == prefix
+    assert reordered.method == "greedy"
+    assert sorted(reordered.groups) == sorted(order.groups)
+    assert _is_admissible_cache_order(plan, reordered.groups)
+
+
+# -- AccessOptimizer: the adaptive hook -----------------------------------------
+
+
+def _optimizer_for(example) -> AccessOptimizer:
+    return AccessOptimizer(_plan_for(example))
+
+
+def test_optimizer_needs_samples_before_trusting_divergence() -> None:
+    optimizer = _optimizer_for(make_scenario("chain", length=2, width=2))
+    relation = next(iter(optimizer.order.estimated_fanout))
+    optimizer.note(relation, 100)
+    assert optimizer.observed_fanout(relation) is None  # one sample: not trusted
+    assert optimizer.diverging_relation() is None
+    optimizer.note(relation, 100)
+    assert optimizer.observed_fanout(relation) == pytest.approx(100.0)
+    assert optimizer.diverging_relation() == relation
+
+
+def test_optimizer_replans_once_per_relation() -> None:
+    optimizer = _optimizer_for(make_scenario("chain", length=2, width=2))
+    relation = next(iter(optimizer.order.estimated_fanout))
+    for _ in range(3):
+        optimizer.note(relation, 50)  # cold estimate is COLD_FANOUT: huge divergence
+    placed = optimizer.order.groups[:1]
+    assert optimizer.maybe_replan(placed)
+    assert optimizer.replans == 1
+    assert optimizer.order.groups[: len(placed)] == tuple(placed)
+    # The same divergence never fires twice.
+    assert not optimizer.maybe_replan(placed)
+    assert optimizer.replans == 1
+
+
+def test_optimizer_agreeing_observations_do_not_replan() -> None:
+    optimizer = _optimizer_for(make_scenario("chain", length=2, width=2))
+    relation = next(iter(optimizer.order.estimated_fanout))
+    estimated = optimizer.order.estimated_fanout[relation]
+    for _ in range(4):
+        optimizer.note(relation, int(estimated))
+    assert optimizer.diverging_relation() is None
+    assert not optimizer.maybe_replan(optimizer.order.groups[:1])
+    assert optimizer.replans == 0
+
+
+# -- end to end through the engine ----------------------------------------------
+
+SMALL_SCENARIOS = (
+    ("chain", {"length": 3, "width": 3}),
+    ("star", {"rays": 3, "width": 3}),
+    ("cycle", {"size": 5, "seeds": 2}),
+)
+
+
+@pytest.mark.parametrize("name,params", SMALL_SCENARIOS)
+@pytest.mark.parametrize("strategy", ["naive", "fast_fail", "distillation"])
+def test_cost_order_matches_structural(name: str, params: dict, strategy: str) -> None:
+    example = make_scenario(name, **params)
+    with Engine(example.schema, example.instance) as engine:
+        structural = engine.execute(example.query_text, strategy=strategy)
+        engine.session.reset()
+        cost = engine.execute(example.query_text, strategy=strategy, optimizer="cost")
+    assert cost.answers == structural.answers == example.expected_answers
+    assert cost.total_accesses <= structural.total_accesses
+    assert structural.optimizer_report is None
+    assert "optimizer" not in structural.to_dict()
+    assert cost.optimizer_report is not None
+    assert cost.to_dict()["optimizer"]["mode"] == "cost"
+
+
+def test_unknown_optimizer_is_rejected() -> None:
+    example = running_example()
+    with Engine(example.schema, example.instance) as engine:
+        with pytest.raises(StrategyError, match="unknown optimizer"):
+            engine.execute(example.query_text, optimizer="voodoo")
+
+
+def test_report_surfaces_estimates_versus_actuals() -> None:
+    example = make_scenario("chain", length=3, width=3)
+    with Engine(example.schema, example.instance) as engine:
+        result = engine.execute(example.query_text, optimizer="cost")
+    report = result.optimizer_report
+    by_relation = {forecast.relation: forecast for forecast in report.relations}
+    for source in result.per_source:
+        forecast = by_relation[source.relation]
+        assert forecast.actual_accesses == source.accesses
+        assert forecast.estimated_accesses > 0
+        assert forecast.estimated_fanout > 0
+    payload = report.to_dict()
+    assert payload["replans"] == report.replans
+    assert [tuple(group) for group in payload["groups"]] == list(report.groups)
+    assert "estimated cost" in str(report)
+
+
+def test_session_statistics_warm_up_the_estimates() -> None:
+    example = make_scenario("chain", length=3, width=3)
+    with Engine(example.schema, example.instance) as engine:
+        cold = engine.execute(example.query_text, optimizer="cost")
+        # First run of the session: no estimate is backed by prior statistics
+        # (the report's `observed_estimate` reflects the post-run state, so
+        # the pre-run evidence is visible through the collector itself).
+        statistics = engine.session.statistics
+        assert all(
+            statistics.get(f.relation).accesses == f.actual_accesses
+            for f in cold.optimizer_report.relations
+        )
+        # Re-running in the same session: statistics now back the estimates.
+        warm = engine.execute(
+            example.query_text, optimizer="cost", share_session_cache=False
+        )
+        assert any(f.observed_estimate for f in warm.optimizer_report.relations)
+        assert any(
+            f.estimated_fanout != COLD_FANOUT for f in warm.optimizer_report.relations
+        )
+        stats = engine.session.stats()
+        assert set(stats["relations"]) == {b.relation for b in warm.per_source}
+        for summary in stats["relations"].values():
+            assert summary["accesses"] > 0
+
+
+def test_explain_reports_the_last_optimizer_run() -> None:
+    example = make_scenario("star", rays=3, width=2)
+    with Engine(example.schema, example.instance) as engine:
+        prepared = engine.plan(example.query_text)
+        before = prepared.explain()
+        assert before.optimizer is None
+        assert "optimizer (last run)" not in before.describe()
+        prepared.execute(optimizer="cost")
+        after = prepared.explain()
+    assert after.optimizer is not None
+    assert after.optimizer["mode"] == "cost"
+    assert after.to_dict()["optimizer"] == after.optimizer
+    rendered = after.describe()
+    assert "optimizer (last run)" in rendered
+
+
+def test_adaptive_scenario_triggers_a_replan() -> None:
+    example = make_scenario("adaptive", width=3, trap_fanout=16, safe_fanout=2)
+    with Engine(example.schema, example.instance) as engine:
+        structural = engine.execute(example.query_text)
+        engine.session.reset()
+        cost = engine.execute(example.query_text, optimizer="cost")
+    assert cost.answers == structural.answers == example.expected_answers
+    assert cost.total_accesses <= structural.total_accesses
+    assert cost.optimizer_report.replans >= 1
+    assert cost.to_dict()["optimizer"]["replans"] >= 1
+
+
+def test_workload_report_carries_relation_statistics() -> None:
+    example = make_scenario("star", rays=2, width=3)
+    with Engine(example.schema, example.instance) as engine:
+        report = engine.run_workload([example.query_text] * 3, max_parallel=2)
+    assert report.relation_stats
+    payload = report.to_dict()
+    assert payload["relations"] == report.relation_stats
+    for summary in report.relation_stats.values():
+        assert summary["accesses"] >= 1
