@@ -21,11 +21,20 @@ concurrently over one engine session and reports throughput::
     python -m repro workload --mix star,diamond,chain --repeat 2 --max-parallel 4
     python -m repro workload --mix star,chaos --repeat 2 --fail 0.3 --retries 3
     python -m repro workload --mix star,diamond --optimizer cost --json
+    python -m repro workload --mix star,diamond --cache-store sqlite:/tmp/c.db --json
+    python -m repro run --example --result-cache --cache-max-entries 1000
 
 ``--optimizer cost`` replaces the structural d-graph access order with the
 statistics-driven cost-based order of :mod:`repro.optimizer` (identical
 answers, never more accesses) and reports estimated vs. actual per-relation
 cardinalities.
+
+``--cache-store sqlite:PATH`` makes the session's "never repeat an access"
+domain persistent: a re-run of the same command warm-starts from the prior
+run's accesses (watch ``total_accesses`` drop to zero), and concurrent
+processes sharing the file perform each access exactly once.  ``--cache-ttl``
+and ``--cache-max-entries`` bound the cache (evicted accesses are simply
+re-performed); ``--result-cache`` adds the query-result tier above it.
 
 ``--fail`` wraps every backend in a deterministic, seeded
 :class:`~repro.sources.resilience.FlakyBackend`; ``--retries``/``--timeout``
@@ -56,6 +65,7 @@ from repro.model.instance import DatabaseInstance
 from repro.model.schema import Schema
 from repro.sources.backend import BACKEND_KINDS
 from repro.sources.resilience import DEFAULT_RETRY, FaultSchedule, RetryPolicy
+from repro.sources.store import CacheConfig
 from repro.sources.wrapper import SourceRegistry
 
 
@@ -162,6 +172,54 @@ def parse_fail_spec(spec: str) -> FaultSchedule:
         raise ReproError(f"bad --fail spec {spec!r}: {error}") from None
 
 
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-store",
+        metavar="SPEC",
+        default="memory",
+        help=(
+            "where the session's access cache lives: 'memory' (default, "
+            "process-local) or 'sqlite:PATH' (persistent; restarted runs "
+            "warm-start and concurrent processes share one access domain)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "expire cached accesses after SECONDS (default: never); an "
+            "expired access is simply re-performed on next need"
+        ),
+    )
+    parser.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the cache to N access records with LRU eviction (default: unbounded)",
+    )
+    parser.add_argument(
+        "--result-cache",
+        action="store_true",
+        help=(
+            "enable the query-result cache tier: repeated (alpha-equivalent) "
+            "queries are answered without executing the plan"
+        ),
+    )
+
+
+def _cache_config(args: argparse.Namespace) -> CacheConfig:
+    """Translate the --cache-* flags into a CacheConfig."""
+    return CacheConfig.parse(
+        args.cache_store,
+        ttl=args.cache_ttl,
+        max_entries=args.cache_max_entries,
+        result_cache=args.result_cache,
+    )
+
+
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--retries",
@@ -236,7 +294,7 @@ def _build_engine(args: argparse.Namespace) -> Tuple[Engine, str]:
     )
     if getattr(args, "fail", None):
         registry.inject_faults(parse_fail_spec(args.fail))
-    return Engine(schema, registry), query
+    return Engine(schema, registry, cache=_cache_config(args)), query
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -271,6 +329,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--latency", type=float, default=0.0, help="simulated per-access latency (seconds)"
     )
+    _add_cache_arguments(parser)
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
 
@@ -367,7 +426,7 @@ def _command_workload(args: argparse.Namespace) -> int:
     )
     if args.fail:
         registry.inject_faults(parse_fail_spec(args.fail))
-    with Engine(workload.schema, registry) as engine:
+    with Engine(workload.schema, registry, cache=_cache_config(args)) as engine:
         report = engine.run_workload(
             workload.query_texts(),
             strategy=args.strategy,
@@ -424,6 +483,22 @@ def _command_workload(args: argparse.Namespace) -> int:
                 f"(hit rate {report.hit_rate:.1%})  "
                 f"peak in flight {report.peak_in_flight}"
             )
+            cache = report.cache_stats
+            if cache:
+                tier = (
+                    f"cache store {cache['store']}"
+                    f"{' (persistent)' if cache['persistent'] else ''}: "
+                    f"binding hit rate {cache['binding_hit_rate']:.1%}, "
+                    f"{cache['binding_entries']} records, "
+                    f"{cache['evictions']} evictions"
+                )
+                if cache["result_cache"]:
+                    tier += (
+                        f"; result tier: {cache['result_hits']} hits "
+                        f"(rate {cache['result_hit_rate']:.1%}, "
+                        f"{cache['result_entries']} entries)"
+                    )
+                print(tier)
             if report.relation_stats:
                 print("per-relation statistics:")
                 for relation, stats in report.relation_stats.items():
@@ -555,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--latency", type=float, default=0.0, help="simulated per-access latency (seconds)"
     )
     _add_resilience_arguments(workload_parser)
+    _add_cache_arguments(workload_parser)
     workload_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )

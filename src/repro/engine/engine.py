@@ -39,7 +39,10 @@ from repro.query.parser import parse_query
 from repro.sources.backend import BackendLike
 from repro.sources.cache import CacheDatabase, MetaCache
 from repro.sources.log import AccessLog
+from repro.sources.store import CacheConfig, CacheStore, MemoryCacheStore, build_store
 from repro.sources.wrapper import SourceRegistry
+
+CacheLike = Union[None, str, CacheConfig, CacheStore]
 
 
 class EngineSession:
@@ -65,19 +68,29 @@ class EngineSession:
             logs — the cost-based optimizer's input.  They accumulate
             across queries, so later queries are planned with what earlier
             ones learned.
+        store: the :class:`~repro.sources.store.CacheStore` backing the
+            meta-caches' records and the query-result tier.  The default is
+            an unbounded in-memory store (the historical behaviour); a
+            persistent store makes the session warm-start from prior
+            processes, and TTL/LRU knobs bound its growth.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional[CacheStore] = None) -> None:
         self._lock = threading.RLock()
+        self.store: CacheStore = store if store is not None else MemoryCacheStore()
         self.meta: Dict[str, MetaCache] = {}
         self.log = AccessLog()
         self.executions = 0
         self.statistics = StatisticsCollector()
+        if self.store.persistent:
+            self.statistics.preload_store_hits(self.store.persisted_hit_counters())
 
     def new_cache_db(self) -> CacheDatabase:
         """A fresh cache database whose meta-caches are the session's."""
         with self._lock:
-            return CacheDatabase(shared_meta=self.meta, meta_lock=self._lock)
+            return CacheDatabase(
+                shared_meta=self.meta, meta_lock=self._lock, store=self.store
+            )
 
     def absorb(
         self,
@@ -118,11 +131,19 @@ class EngineSession:
             return sum(meta.hits for meta in self.meta.values())
 
     def reset(self) -> None:
+        """Forget everything the session learned — including the store.
+
+        Clearing the store too keeps the session coherent: fresh meta-caches
+        over retained records would silently warm-start.  For a persistent
+        store this *erases the shared access domain on disk*; restart the
+        engine instead to keep it.
+        """
         with self._lock:
             self.meta.clear()
             self.log = AccessLog()
             self.executions = 0
             self.statistics.reset()
+            self.store.clear()
 
     def stats(self) -> Dict[str, object]:
         with self._lock:
@@ -136,6 +157,7 @@ class EngineSession:
                 "meta_hits": hits,
                 "hit_rate": (hits / served) if served else 0.0,
                 "relations": self.statistics.per_relation_summary(),
+                "cache_store": self.store.stats(),
             }
 
 
@@ -160,6 +182,9 @@ class WorkloadReport:
             (rows per access, fanout by binding arity, empty rate, average
             latency, meta hits) — the observables the cost-based optimizer
             plans with.
+        cache_stats: cache-tier accounting of the run — store kind and
+            persistence, binding-tier hit rate, result-tier hits and hit
+            rate, evictions during the run, and entry gauges after it.
     """
 
     results: List[Result]
@@ -171,6 +196,7 @@ class WorkloadReport:
     peak_in_flight: int
     max_parallel: int
     relation_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    cache_stats: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -183,6 +209,7 @@ class WorkloadReport:
             "peak_in_flight": self.peak_in_flight,
             "max_parallel": self.max_parallel,
             "relations": self.relation_stats,
+            "cache": self.cache_stats,
         }
 
 
@@ -209,6 +236,13 @@ class Engine:
         join_first_heuristic: tie-break source orderings by join count.
         options: default :class:`~repro.engine.strategy.ExecuteOptions` for
             executions started from this engine.
+        cache: the cache-store tier — ``None`` (default in-memory store,
+            historical behaviour), a spec string (``"memory"`` or
+            ``"sqlite:PATH"``), a :class:`~repro.sources.store.CacheConfig`
+            (TTL, entry bounds, result cache), or a ready
+            :class:`~repro.sources.store.CacheStore` instance.  A
+            persistent store warm-starts the session from prior processes
+            and is fingerprint-checked against this engine's sources.
     """
 
     def __init__(
@@ -221,6 +255,7 @@ class Engine:
         minimize: bool = True,
         join_first_heuristic: bool = True,
         options: Optional[ExecuteOptions] = None,
+        cache: CacheLike = None,
     ) -> None:
         if isinstance(source, SourceRegistry):
             self.registry = source
@@ -237,7 +272,14 @@ class Engine:
         self._generator = MinimalPlanGenerator(
             self.schema, minimize=minimize, join_first_heuristic=join_first_heuristic
         )
-        self.session = EngineSession()
+        self.cache_config, store = CacheConfig.coerce(cache)
+        if store is None:
+            store = build_store(self.cache_config)
+        # A persistent store must have been built over these same sources:
+        # serving rows recorded for a different schema would be silent
+        # corruption, so the store is bound to a schema fingerprint.
+        store.check_fingerprint(self.registry.fingerprint())
+        self.session = EngineSession(store=store)
 
     # -- construction shorthands ---------------------------------------------
     @classmethod
@@ -362,6 +404,8 @@ class Engine:
 
         accesses_before = self.session.log.total_accesses
         hits_before = self.session.meta_hits
+        store = self.session.store
+        store_before = store.stats()
         started = time.perf_counter()
         if max_parallel <= 1 or len(prepared) <= 1:
             results = [run_one(plan) for plan in prepared]
@@ -373,6 +417,20 @@ class Engine:
         accesses = self.session.log.total_accesses - accesses_before
         hits = self.session.meta_hits - hits_before
         served = accesses + hits
+        store_after = store.stats()
+        result_hits = sum(1 for result in results if result.result_cache_hit)
+        cache_stats: Dict[str, object] = {
+            "store": store_after["kind"],
+            "persistent": store_after["persistent"],
+            "binding_hits": hits,
+            "binding_hit_rate": round((hits / served) if served else 0.0, 4),
+            "binding_entries": store_after["binding_entries"],
+            "evictions": int(store_after["evictions"]) - int(store_before["evictions"]),
+            "result_cache": store.result_cache,
+            "result_hits": result_hits,
+            "result_hit_rate": round(result_hits / len(results), 4) if results else 0.0,
+            "result_entries": store_after["result_entries"],
+        }
         return WorkloadReport(
             results=results,
             wall_seconds=wall,
@@ -383,11 +441,12 @@ class Engine:
             peak_in_flight=peak,
             max_parallel=max_parallel,
             relation_stats=self.session.statistics.per_relation_summary(),
+            cache_stats=cache_stats,
         )
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
-        """Close every source backend (e.g. SQLite connections).
+        """Close every source backend and the cache store.
 
         Idempotent, and safe after a backend error mid-query: double close
         and close-after-failure are no-ops, so ``with Engine(...)`` tears
@@ -397,6 +456,7 @@ class Engine:
             return
         self._closed = True
         self.registry.close()
+        self.session.store.close()
 
     def __enter__(self) -> "Engine":
         return self

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Optional
 
@@ -15,10 +16,12 @@ from repro.engine.strategy import (
     resolve_strategy,
     streaming_unsupported,
 )
+from repro.engine.result import Termination
 from repro.exceptions import ReproError
 from repro.plan.parallel import StreamedAnswer
 from repro.plan.plan import QueryPlan
 from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.minimize import canonical_form
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.engine import Engine
@@ -40,11 +43,44 @@ class PreparedPlan:
     #: The cost-based optimizer's report of the most recent execution
     #: (None before any run, and after runs with the structural order).
     last_optimizer_report: Optional[object] = None
+    #: Lazily computed canonical key for the query-result cache tier.
+    _result_key: Optional[str] = None
 
     # -- execution -----------------------------------------------------------
     def _options(self, options: Optional[ExecuteOptions], overrides: dict) -> ExecuteOptions:
         base = options if options is not None else self.engine.default_options
         return base.override(**overrides) if overrides else base
+
+    def result_key(self) -> str:
+        """The canonical-form key of this query in the result-cache tier.
+
+        Alpha-equivalent queries (same core up to variable renaming and
+        body reordering) share one key, so a repeat of a previously
+        completed query is answered without executing the plan.
+        """
+        if self._result_key is None:
+            self._result_key = canonical_form(self.query)
+        return self._result_key
+
+    def _cached_result(
+        self, strategy_name: str, answers: frozenset, elapsed: float = 0.0
+    ) -> Result:
+        """Shape a result-tier hit as a regular, complete :class:`Result`.
+
+        Zero accesses and an empty per-source breakdown: nothing executed.
+        Only *complete* results are ever recorded in the tier, so serving
+        them as ``COMPLETED`` preserves the honest-completeness contract.
+        """
+        return Result(
+            strategy=strategy_name,
+            answers=answers,
+            termination=Termination.COMPLETED,
+            total_accesses=0,
+            per_source=(),
+            elapsed_seconds=elapsed,
+            simulated_latency=0.0,
+            result_cache_hit=True,
+        )
 
     def execute(
         self,
@@ -65,10 +101,25 @@ class PreparedPlan:
         """
         resolved = resolve_strategy(strategy)
         opts = self._options(options, overrides)
+        store = self.engine.session.store
+        use_result_cache = store.result_cache and self.plan.answerable
         try:
             if opts.concurrency == "real" and not resolved.supports_real_concurrency:
                 raise real_concurrency_unsupported(resolved.name)
-            return resolved.run(self, opts)
+            if use_result_cache:
+                started = time.perf_counter()
+                cached = store.lookup_result(self.result_key())
+                if cached is not None:
+                    return self._cached_result(
+                        resolved.name, cached, time.perf_counter() - started
+                    )
+            result = resolved.run(self, opts)
+            if use_result_cache and result.complete:
+                # Only complete answers are cacheable: a budget-cut or
+                # failure-degraded lower bound must never be served as the
+                # answer to a later, healthy run.
+                store.record_result(self.result_key(), result.answers)
+            return result
         except ReproError as error:
             raise error.with_context(query=self.query, plan=self.plan)
 

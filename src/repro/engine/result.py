@@ -79,6 +79,9 @@ class Result:
         optimizer_report: the cost-based optimizer's account of the run
             (chosen order, estimated vs. actual cardinalities, re-planning
             events); None when the structural order was used.
+        result_cache_hit: True when the answers were served whole from the
+            engine's query-result cache tier (no plan executed, zero
+            accesses); see :mod:`repro.sources.store`.
     """
 
     strategy: str
@@ -95,6 +98,7 @@ class Result:
     access_log: AccessLog = field(default_factory=AccessLog, repr=False)
     raw: object = field(default=None, repr=False)
     optimizer_report: object = field(default=None, repr=False)
+    result_cache_hit: bool = False
 
     # -- inspection ----------------------------------------------------------
     @property
@@ -160,6 +164,7 @@ class Result:
             "complete": self.complete,
             "failed_relations": list(self.failed_relations),
             "retry_stats": self.retry_stats.to_dict(),
+            "result_cache_hit": self.result_cache_hit,
         }
         if self.optimizer_report is not None:
             payload["optimizer"] = self.optimizer_report.to_dict()  # type: ignore[attr-defined]
@@ -175,6 +180,8 @@ class Result:
             f"sim. latency : {self.simulated_latency:.4f}",
             f"wall clock   : {self.elapsed_seconds:.4f}s",
         ]
+        if self.result_cache_hit:
+            lines.append("result cache : hit (answers served without execution)")
         if self.time_to_first_answer is not None:
             lines.append(f"first answer : {self.time_to_first_answer:.4f}")
         if self.failed_at_position is not None:

@@ -107,6 +107,10 @@ class StatisticsCollector:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._relations: Dict[str, RelationStatistics] = {}
+        #: Per-relation hit counts inherited from a persistent cache store
+        #: (accumulated by previous processes); added on top of the live
+        #: meta-cache counters by :meth:`sync_meta_hits`.
+        self._hit_base: Dict[str, int] = {}
         #: Execution logs folded in so far.
         self.observations = 0
 
@@ -158,11 +162,30 @@ class StatisticsCollector:
                 )
                 stats.latency += latency * stretch
 
+    def preload_store_hits(self, counters: Dict[str, int]) -> None:
+        """Seed hit counters persisted by previous processes' cache store.
+
+        A persistent store survives restarts; the hits it accumulated before
+        this process started become the base the live meta-cache counters
+        are added to, so ``meta_hits`` keeps counting across restarts.
+        """
+        with self._lock:
+            for relation, hits in counters.items():
+                if hits:
+                    self._hit_base[relation] = self._hit_base.get(relation, 0) + hits
+                    stats = self._stats_locked(relation)
+                    stats.meta_hits = self._hit_base[relation]
+
     def sync_meta_hits(self, meta: Dict[str, "MetaCache"]) -> None:
-        """Mirror the session meta-caches' cumulative hit counters."""
+        """Mirror the session meta-caches' cumulative hit counters.
+
+        Counters inherited from a persistent store (see
+        :meth:`preload_store_hits`) stay included as a base.
+        """
         with self._lock:
             for relation, cache in meta.items():
-                self._stats_locked(relation).meta_hits = cache.hits
+                base = self._hit_base.get(relation, 0)
+                self._stats_locked(relation).meta_hits = base + cache.hits
 
     def get(self, relation: str) -> Optional[RelationStatistics]:
         """The statistics of one relation (None when never observed)."""
@@ -181,6 +204,7 @@ class StatisticsCollector:
     def reset(self) -> None:
         with self._lock:
             self._relations.clear()
+            self._hit_base.clear()
             self.observations = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -165,6 +165,15 @@ class Dispatcher(abc.ABC):
         waiters are never stranded on a dead claimant: they re-contend and
         may retry the access themselves.
 
+        The meta-cache resolves the claim against the session's pluggable
+        cache store (:mod:`repro.sources.store`): with a persistent store
+        the "recorded" check spans prior processes (warm start) and the
+        claim gate spans concurrent ones, so all three dispatchers honour
+        one shared "never repeat an access" domain without knowing which
+        store backs it.  A bounded store may have *evicted* a binding, in
+        which case the claim is simply owned again and the access re-runs —
+        see :class:`~repro.runtime.kernel.AccessBudget` for the accounting.
+
         Returns the :class:`AccessOutcome`, or ``None`` when the budget
         denied the access.  A failed outcome's grant is refunded here when
         this call charged the budget (batch dispatch refunds at the

@@ -146,6 +146,12 @@ class AccessBudget:
     gate-served batch slot, or an access that permanently failed — so
     ``total_granted - refunded`` always equals the number of accesses
     recorded against the sources.
+
+    The budget deliberately has no memory of *which* bindings were granted:
+    when a bounded cache store evicts a binding record, a later execution
+    that re-performs the access asks for (and consumes) a fresh grant, so a
+    re-performed access is priced as a genuine new access — eviction trades
+    accesses for space, it never corrupts the accounting.
     """
 
     def __init__(self, limit: Optional[int]) -> None:
@@ -202,6 +208,11 @@ class KernelOutcome:
             failures, breaker trips, refunds, backoff).
         replans: adaptive re-planning events the policy's access optimizer
             performed mid-run (0 without a cost-based optimizer).
+        gate_served: dispatched accesses that the claim gate resolved from
+            the cache store (another execution — or, with a persistent
+            store, another process — had already performed them) instead of
+            a source read.  Offer-pass hits are counted separately, by the
+            meta-caches.
     """
 
     answers: FrozenSet[Row]
@@ -213,6 +224,7 @@ class KernelOutcome:
     failed_relations: Tuple[str, ...] = ()
     retry_stats: RetryStats = field(default_factory=RetryStats)
     replans: int = 0
+    gate_served: int = 0
 
     @property
     def source_failure(self) -> bool:
@@ -298,6 +310,7 @@ class FixpointKernel:
     def _loop(self) -> Iterator[StreamedAnswer]:
         completed_since_check = 0
         budget_exhausted = False
+        gate_served = 0
 
         more_phases = self.policy.begin()
         while more_phases and not budget_exhausted:
@@ -321,6 +334,8 @@ class FixpointKernel:
                 for completion in batch:
                     self._absorb(completion)
                     completed_since_check += 1
+                    if not completion.counted and not completion.failed:
+                        gate_served += 1
                     if completion.rows:
                         batch_had_rows = True
                 if (
@@ -347,6 +362,7 @@ class FixpointKernel:
             failed_relations=self.resilience.snapshot_failed_relations(),
             retry_stats=self.resilience.stats,
             replans=getattr(self.policy, "optimizer_replans", 0),
+            gate_served=gate_served,
         )
 
     def _offer_fixpoint(self) -> None:

@@ -27,11 +27,18 @@ since their last visit (delta-driven binding generation, see
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Deque, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.model.schema import RelationSchema
 from repro.sources.access import AccessTuple
+from repro.sources.store import (
+    CacheStore,
+    ClaimStatus,
+    MemoryCacheStore,
+    RelationRecords,
+)
 
 Row = Tuple[object, ...]
 
@@ -141,11 +148,29 @@ class MetaCache:
     :meth:`abandon` it); later claimants block until it is fulfilled and
     read the rows for free.  An owner never holds a claim while waiting on
     another, so claim chains always resolve.
+
+    The binding→rows records themselves live in a pluggable
+    :class:`~repro.sources.store.RelationRecords` handle (see
+    :mod:`repro.sources.store`): the default in-memory handle reproduces the
+    historical dictionary exactly, while a persistent handle makes the
+    "never repeat an access" domain survive restarts and extends the claim
+    protocol across processes.  Because a bounded store may *evict* records,
+    a lookup miss no longer implies the access was never performed — it only
+    means it must be (re-)performed, which the claim gate then arbitrates.
+    The row union stays in-process and append-only regardless of the store.
     """
 
-    def __init__(self, relation: RelationSchema) -> None:
+    def __init__(
+        self,
+        relation: RelationSchema,
+        records: Optional[RelationRecords] = None,
+        claim_poll_interval: float = 0.01,
+    ) -> None:
         self.relation = relation
-        self._results: Dict[Tuple[object, ...], FrozenSet[Row]] = {}
+        if records is None:
+            records = MemoryCacheStore().records(relation)
+        self._records = records
+        self._claim_poll_interval = claim_poll_interval
         self._union: Set[Row] = set()
         self._union_view: Optional[FrozenSet[Row]] = None
         self._inflight: Set[Tuple[object, ...]] = set()
@@ -154,33 +179,46 @@ class MetaCache:
         #: passes and claim hits alike); feeds the session hit-rate stats.
         self.hits = 0
 
+    def _absorb_union(self, rows: FrozenSet[Row]) -> None:
+        """Fold served rows into the union (no-op when already absorbed).
+
+        Must be called with the condition held.  Needed because a persistent
+        store can serve rows recorded by an earlier process, which never
+        passed through this instance's :meth:`record`.
+        """
+        if not rows <= self._union:
+            self._union.update(rows)
+            self._union_view = None
+
     def has_access(self, binding: Tuple[object, ...]) -> bool:
         with self._cond:
-            return tuple(binding) in self._results
+            return self._records.contains(tuple(binding))
 
     def record(self, binding: Tuple[object, ...], rows: FrozenSet[Row]) -> None:
         """Record one performed access, fulfilling any claim on its binding."""
         rows = frozenset(rows)
         binding = tuple(binding)
+        # The store write also releases any cross-process claim, so remote
+        # waiters see the rows no later than local ones.
+        self._records.put(binding, rows)
         with self._cond:
-            self._results[binding] = rows
-            if not rows <= self._union:
-                self._union.update(rows)
-                self._union_view = None
+            self._absorb_union(rows)
             if binding in self._inflight:
                 self._inflight.discard(binding)
                 self._cond.notify_all()
 
     def rows_for(self, binding: Tuple[object, ...]) -> FrozenSet[Row]:
         with self._cond:
-            return self._results.get(tuple(binding), frozenset())
+            rows = self._records.get(tuple(binding), touch=False)
+            return rows if rows is not None else frozenset()
 
     def lookup(self, binding: Tuple[object, ...]) -> Optional[FrozenSet[Row]]:
         """The recorded rows for a binding, or None — counting a hit."""
         with self._cond:
-            rows = self._results.get(tuple(binding))
+            rows = self._records.get(tuple(binding))
             if rows is not None:
                 self.hits += 1
+                self._absorb_union(rows)
             return rows
 
     def claim(self, binding: Tuple[object, ...]) -> Optional[FrozenSet[Row]]:
@@ -190,28 +228,50 @@ class MetaCache:
         :meth:`record` with the retrieved rows, or :meth:`abandon` on
         failure); returns the rows when the binding is already recorded —
         possibly after waiting out another execution's in-flight access.
+        In-process contention is settled on the condition variable first;
+        the surviving owner then contends with other *processes* through
+        the store's claim table (trivially won for the in-memory store).
         """
         binding = tuple(binding)
         with self._cond:
             while True:
-                rows = self._results.get(binding)
+                rows = self._records.get(binding)
                 if rows is not None:
                     self.hits += 1
+                    self._absorb_union(rows)
                     return rows
                 if binding not in self._inflight:
                     self._inflight.add(binding)
-                    return None
+                    break
                 self._cond.wait()
+        # This thread owns the access in-process; win it across processes
+        # too.  Polling happens outside the condition so local record() and
+        # abandon() calls for other bindings are never blocked.
+        while True:
+            status, rows = self._records.claim(binding)
+            if status is ClaimStatus.OWNED:
+                return None
+            if status is ClaimStatus.SERVED:
+                served = rows if rows is not None else frozenset()
+                with self._cond:
+                    self.hits += 1
+                    self._absorb_union(served)
+                    self._inflight.discard(binding)
+                    self._cond.notify_all()
+                return served
+            time.sleep(self._claim_poll_interval)
 
     def abandon(self, binding: Tuple[object, ...]) -> None:
         """Give up an owned claim (the access failed); waiters re-contend."""
+        binding = tuple(binding)
+        self._records.release(binding)
         with self._cond:
-            self._inflight.discard(tuple(binding))
+            self._inflight.discard(binding)
             self._cond.notify_all()
 
     def bindings(self) -> FrozenSet[Tuple[object, ...]]:
         with self._cond:
-            return frozenset(self._results)
+            return self._records.bindings()
 
     def all_rows(self) -> FrozenSet[Row]:
         """Union of all rows extracted from the relation so far."""
@@ -222,7 +282,7 @@ class MetaCache:
 
     def __len__(self) -> int:
         with self._cond:
-            return len(self._results)
+            return len(self._records)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MetaCache({self.relation.name!r}, {len(self)} accesses)"
@@ -283,16 +343,22 @@ class CacheDatabase:
     only by that execution's coordinating thread); the shared meta mapping
     is guarded by ``meta_lock`` (the session's lock), so concurrent
     executions agree on one :class:`MetaCache` object per relation.
+
+    ``store`` selects where the meta-caches' records live (see
+    :mod:`repro.sources.store`); when omitted, each meta-cache gets a
+    private unbounded in-memory handle — the historical behaviour.
     """
 
     def __init__(
         self,
         shared_meta: Optional[Dict[str, MetaCache]] = None,
         meta_lock: Optional[threading.Lock] = None,
+        store: Optional[CacheStore] = None,
     ) -> None:
         self._caches: Dict[str, CacheTable] = {}
         self._meta: Dict[str, MetaCache] = shared_meta if shared_meta is not None else {}
         self._meta_lock = meta_lock if meta_lock is not None else threading.Lock()
+        self._store = store
         self._access_tables: Dict[str, AccessTable] = {}
 
     # -- cache tables ------------------------------------------------------------
@@ -325,7 +391,16 @@ class CacheDatabase:
             with self._meta_lock:
                 meta = self._meta.get(relation.name)
                 if meta is None:
-                    meta = MetaCache(relation)
+                    if self._store is not None:
+                        meta = MetaCache(
+                            relation,
+                            records=self._store.records(relation),
+                            claim_poll_interval=getattr(
+                                self._store, "claim_poll_interval", 0.01
+                            ),
+                        )
+                    else:
+                        meta = MetaCache(relation)
                     self._meta[relation.name] = meta
         return meta
 

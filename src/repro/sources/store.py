@@ -1,0 +1,923 @@
+"""Pluggable cache stores: where the "never repeat an access" domain lives.
+
+The paper's central invariant — an access tuple is shipped to a source at
+most once — is enforced by the per-relation meta-caches of
+:mod:`repro.sources.cache`.  Historically those meta-caches were plain
+in-process dictionaries: they died with the process (a restarted engine
+re-paid every access) and grew without bound.  This module extracts the
+storage behind them into a :class:`CacheStore` interface with two tiers:
+
+* the **binding tier** — ``(relation, binding) → rows`` records plus the
+  cross-execution *claim* table that makes concurrent executions (and, for
+  the persistent store, concurrent *processes*) agree on a single owner per
+  access;
+* the **result tier** — ``canonical query shape → answers``, letting a
+  repeated (alpha-equivalent) query skip the fixpoint entirely.  See
+  :func:`repro.query.minimize.canonical_form`.
+
+Two implementations are provided:
+
+* :class:`MemoryCacheStore` — the default.  With the default knobs
+  (no TTL, no entry bound) it behaves byte-identically to the historical
+  dictionaries; optional TTL / LRU bounds turn it into a size-capped cache.
+* :class:`SQLiteCacheStore` — a persistent store (SQLite in WAL mode).  A
+  restarted engine warm-starts from every access recorded by its
+  predecessors, and N processes pointed at one database file share a single
+  access domain: the claim table extends the PR-4 claim/abandon protocol
+  across processes, with *stale-claimant takeover* so a crashed owner never
+  wedges the others.
+
+Eviction semantics (both stores): evicting a binding record is **not** a
+correctness bug — it merely forgets that the access was performed, so a
+later execution re-performs it.  The claim gate then hands ownership to a
+new claimant, the access is re-counted by :class:`~repro.runtime.kernel.
+AccessBudget` as a genuine new access, and the recorded rows re-enter the
+store.  Claims themselves are never evicted (only fulfilled, abandoned, or
+taken over when stale), and the meta-caches' in-process row *union* remains
+append-only, so already-derived answers are never retracted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Callable, Dict, FrozenSet, Optional, Tuple, Union
+
+from repro.exceptions import EngineError
+from repro.model.schema import RelationSchema
+
+Row = Tuple[object, ...]
+Binding = Tuple[object, ...]
+
+
+class CacheStoreError(EngineError):
+    """A cache store is misconfigured or incompatible with the engine.
+
+    Raised, for instance, when a persistent store created over one source
+    schema is attached to an engine with a different one (serving another
+    schema's rows would silently violate correctness), or when a value
+    cannot be round-tripped through the store's serialization.
+    """
+
+
+class ClaimStatus(Enum):
+    """Outcome of asking the store for ownership of one access."""
+
+    #: The caller owns the access and must record or release it.
+    OWNED = "owned"
+    #: The access is already recorded; the rows are returned alongside.
+    SERVED = "served"
+    #: Another *process* holds a live claim; poll again shortly.
+    WAIT = "wait"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Declarative configuration of an engine's cache-store tier.
+
+    ``store`` selects the backing implementation (``"memory"`` or
+    ``"sqlite"``, the latter requiring ``path``).  ``ttl`` and
+    ``max_entries`` bound the binding *and* result tiers (``None`` means
+    unbounded — the default, which preserves the historical behaviour
+    exactly).  ``result_cache`` switches on the query-result tier; it is
+    off by default because a result-tier hit answers a query with zero
+    accesses, which changes access counts relative to a cold engine.
+    """
+
+    store: str = "memory"
+    path: Optional[str] = None
+    ttl: Optional[float] = None
+    max_entries: Optional[int] = None
+    result_cache: bool = False
+    #: Seconds after which another process's unfulfilled claim may be
+    #: taken over (the claimant is presumed dead).
+    stale_claim_after: float = 10.0
+    #: Seconds between polls while waiting out another process's claim.
+    claim_poll_interval: float = 0.01
+
+    @classmethod
+    def parse(cls, spec: str, **overrides: object) -> "CacheConfig":
+        """Build a config from a CLI-style spec: ``memory`` or ``sqlite:PATH``."""
+        spec = spec.strip()
+        if spec == "memory":
+            config = cls()
+        elif spec.startswith("sqlite:"):
+            path = spec[len("sqlite:") :]
+            if not path:
+                raise CacheStoreError("sqlite cache store needs a path: sqlite:PATH")
+            config = cls(store="sqlite", path=path)
+        elif spec == "sqlite":
+            raise CacheStoreError("sqlite cache store needs a path: sqlite:PATH")
+        else:
+            raise CacheStoreError(
+                f"unknown cache store {spec!r}; use 'memory' or 'sqlite:PATH'"
+            )
+        return replace(config, **overrides) if overrides else config
+
+    @classmethod
+    def coerce(
+        cls, value: Union[None, str, "CacheConfig", "CacheStore"]
+    ) -> Tuple["CacheConfig", Optional["CacheStore"]]:
+        """Normalize the ``Engine(cache=...)`` argument.
+
+        Accepts ``None`` (defaults), a spec string, a :class:`CacheConfig`,
+        or a ready :class:`CacheStore` instance (returned as the second
+        element so the engine can adopt it as-is).
+        """
+        if value is None:
+            return cls(), None
+        if isinstance(value, CacheStore):
+            return cls(store=value.kind, result_cache=value.result_cache), value
+        if isinstance(value, str):
+            return cls.parse(value), None
+        if isinstance(value, CacheConfig):
+            return value, None
+        raise CacheStoreError(
+            f"cache must be None, a spec string, a CacheConfig or a CacheStore, "
+            f"not {type(value).__name__}"
+        )
+
+
+class RelationRecords(ABC):
+    """Per-relation handle onto a store's binding tier.
+
+    One instance backs one :class:`~repro.sources.cache.MetaCache`; all
+    methods must be safe to call concurrently (the store serializes
+    internally).
+    """
+
+    @abstractmethod
+    def get(self, binding: Binding, touch: bool = True) -> Optional[FrozenSet[Row]]:
+        """The recorded rows for a binding, or None.
+
+        ``touch`` marks the entry as recently used (LRU) and counts a
+        store-level hit; pass False for pure inspection.
+        """
+
+    @abstractmethod
+    def contains(self, binding: Binding) -> bool:
+        """Whether the binding is recorded (no hit counted, no LRU touch)."""
+
+    @abstractmethod
+    def put(self, binding: Binding, rows: FrozenSet[Row]) -> None:
+        """Record one performed access, releasing any claim on the binding."""
+
+    @abstractmethod
+    def claim(self, binding: Binding) -> Tuple[ClaimStatus, Optional[FrozenSet[Row]]]:
+        """Ask for cross-process ownership of one access (see :class:`ClaimStatus`)."""
+
+    @abstractmethod
+    def release(self, binding: Binding) -> None:
+        """Give up an owned claim without recording (the access failed)."""
+
+    @abstractmethod
+    def bindings(self) -> FrozenSet[Binding]:
+        """All recorded bindings."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of recorded bindings."""
+
+
+class CacheStore(ABC):
+    """Two-tier cache storage shared by all executions of an engine session."""
+
+    #: Store flavour, e.g. ``"memory"`` or ``"sqlite"``.
+    kind: str = "abstract"
+    #: Whether records survive the process (drives warm-start stats wiring).
+    persistent: bool = False
+    #: Whether the query-result tier is enabled.
+    result_cache: bool = False
+
+    @abstractmethod
+    def records(self, relation: RelationSchema) -> RelationRecords:
+        """The binding-tier handle for one relation."""
+
+    # -- result tier -------------------------------------------------------
+    @abstractmethod
+    def lookup_result(self, key: str) -> Optional[FrozenSet[Row]]:
+        """Cached answers for a canonical query key, or None."""
+
+    @abstractmethod
+    def record_result(self, key: str, answers: FrozenSet[Row]) -> None:
+        """Cache the complete answers of one query under its canonical key."""
+
+    # -- persistence hooks -------------------------------------------------
+    def persisted_hit_counters(self) -> Dict[str, int]:
+        """Per-relation hit counts accumulated by *previous* processes."""
+        return {}
+
+    def check_fingerprint(self, fingerprint: str) -> None:
+        """Bind the store to one source-schema fingerprint (no-op if volatile)."""
+
+    # -- bookkeeping -------------------------------------------------------
+    @abstractmethod
+    def stats(self) -> Dict[str, object]:
+        """Monotone (per-process) counters plus entry gauges, for reports."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop every record, claim and cached result."""
+
+    def close(self) -> None:
+        """Release external resources (idempotent)."""
+
+
+def _expired(stamp: float, ttl: Optional[float], now: float) -> bool:
+    return ttl is not None and now - stamp > ttl
+
+
+@dataclass
+class StoreCounters:
+    """Per-process activity counters shared by both store implementations."""
+
+    binding_hits: int = 0
+    accesses_recorded: int = 0
+    evictions: int = 0
+    result_hits: int = 0
+    result_lookups: int = 0
+    result_evictions: int = 0
+    claim_takeovers: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "binding_hits": self.binding_hits,
+            "accesses_recorded": self.accesses_recorded,
+            "evictions": self.evictions,
+            "result_hits": self.result_hits,
+            "result_lookups": self.result_lookups,
+            "result_evictions": self.result_evictions,
+            "claim_takeovers": self.claim_takeovers,
+        }
+
+
+class _MemoryRecords(RelationRecords):
+    """Binding-tier handle of :class:`MemoryCacheStore` for one relation."""
+
+    def __init__(self, store: "MemoryCacheStore", relation_name: str) -> None:
+        self._store = store
+        self._relation = relation_name
+
+    def get(self, binding: Binding, touch: bool = True) -> Optional[FrozenSet[Row]]:
+        return self._store._get(self._relation, tuple(binding), touch)
+
+    def contains(self, binding: Binding) -> bool:
+        return self._store._contains(self._relation, tuple(binding))
+
+    def put(self, binding: Binding, rows: FrozenSet[Row]) -> None:
+        self._store._put(self._relation, tuple(binding), frozenset(rows))
+
+    def claim(self, binding: Binding) -> Tuple[ClaimStatus, Optional[FrozenSet[Row]]]:
+        # Intra-process contention is resolved by the MetaCache's condition
+        # variable before the store is consulted, and a memory store is never
+        # shared across processes: the caller always owns the access.
+        return ClaimStatus.OWNED, None
+
+    def release(self, binding: Binding) -> None:
+        pass  # nothing persisted for an unrecorded claim
+
+    def bindings(self) -> FrozenSet[Binding]:
+        return self._store._bindings(self._relation)
+
+    def __len__(self) -> int:
+        return self._store._count(self._relation)
+
+
+class MemoryCacheStore(CacheStore):
+    """The in-process store: one ordered map per tier, optional TTL/LRU.
+
+    With the default knobs (``ttl=None``, ``max_entries=None``) every
+    operation degenerates to a plain dictionary read/write — byte-identical
+    to the historical ``MetaCache`` internals.  ``max_entries`` bounds the
+    *binding* tier store-wide with LRU eviction (and the result tier
+    separately, with the same bound); ``ttl`` expires entries lazily on
+    lookup.  ``clock`` is injectable for deterministic TTL tests.
+    """
+
+    kind = "memory"
+    persistent = False
+
+    def __init__(
+        self,
+        ttl: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        result_cache: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.ttl = ttl
+        self.max_entries = max_entries
+        self.result_cache = result_cache
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._bounded = ttl is not None or max_entries is not None
+        self._records: "OrderedDict[Tuple[str, Binding], Tuple[FrozenSet[Row], float]]"
+        self._records = OrderedDict()
+        self._results: "OrderedDict[str, Tuple[FrozenSet[Row], float]]" = OrderedDict()
+        self.counters = StoreCounters()
+
+    @classmethod
+    def from_config(cls, config: CacheConfig) -> "MemoryCacheStore":
+        return cls(
+            ttl=config.ttl,
+            max_entries=config.max_entries,
+            result_cache=config.result_cache,
+        )
+
+    def records(self, relation: RelationSchema) -> RelationRecords:
+        return _MemoryRecords(self, relation.name)
+
+    # -- binding tier ------------------------------------------------------
+    def _get(
+        self, relation: str, binding: Binding, touch: bool
+    ) -> Optional[FrozenSet[Row]]:
+        key = (relation, binding)
+        with self._lock:
+            entry = self._records.get(key)
+            if entry is None:
+                return None
+            rows, stamp = entry
+            if self._bounded and _expired(stamp, self.ttl, self._clock()):
+                del self._records[key]
+                self.counters.evictions += 1
+                return None
+            if touch:
+                self.counters.binding_hits += 1
+                if self.max_entries is not None:
+                    self._records.move_to_end(key)
+            return rows
+
+    def _contains(self, relation: str, binding: Binding) -> bool:
+        key = (relation, binding)
+        with self._lock:
+            entry = self._records.get(key)
+            if entry is None:
+                return False
+            if self._bounded and _expired(entry[1], self.ttl, self._clock()):
+                del self._records[key]
+                self.counters.evictions += 1
+                return False
+            return True
+
+    def _put(self, relation: str, binding: Binding, rows: FrozenSet[Row]) -> None:
+        key = (relation, binding)
+        with self._lock:
+            self._records[key] = (rows, self._clock() if self._bounded else 0.0)
+            self.counters.accesses_recorded += 1
+            if self.max_entries is not None:
+                self._records.move_to_end(key)
+                while len(self._records) > self.max_entries:
+                    self._records.popitem(last=False)
+                    self.counters.evictions += 1
+
+    def _bindings(self, relation: str) -> FrozenSet[Binding]:
+        with self._lock:
+            return frozenset(
+                binding for (rel, binding) in self._records if rel == relation
+            )
+
+    def _count(self, relation: str) -> int:
+        with self._lock:
+            return sum(1 for (rel, _) in self._records if rel == relation)
+
+    # -- result tier -------------------------------------------------------
+    def lookup_result(self, key: str) -> Optional[FrozenSet[Row]]:
+        with self._lock:
+            self.counters.result_lookups += 1
+            entry = self._results.get(key)
+            if entry is None:
+                return None
+            answers, stamp = entry
+            if self._bounded and _expired(stamp, self.ttl, self._clock()):
+                del self._results[key]
+                self.counters.result_evictions += 1
+                return None
+            self.counters.result_hits += 1
+            if self.max_entries is not None:
+                self._results.move_to_end(key)
+            return answers
+
+    def record_result(self, key: str, answers: FrozenSet[Row]) -> None:
+        with self._lock:
+            self._results[key] = (
+                frozenset(answers),
+                self._clock() if self._bounded else 0.0,
+            )
+            if self.max_entries is not None:
+                self._results.move_to_end(key)
+                while len(self._results) > self.max_entries:
+                    self._results.popitem(last=False)
+                    self.counters.result_evictions += 1
+
+    # -- bookkeeping -------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            stats: Dict[str, object] = {
+                "kind": self.kind,
+                "persistent": self.persistent,
+                "binding_entries": len(self._records),
+                "result_entries": len(self._results),
+            }
+            stats.update(self.counters.snapshot())
+            return stats
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._results.clear()
+
+
+def _encode_value_list(values: Tuple[object, ...], what: str) -> str:
+    """JSON-encode one binding/row, verifying the round trip is lossless."""
+    try:
+        encoded = json.dumps(list(values), separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise CacheStoreError(
+            f"{what} {values!r} cannot be serialized for the sqlite cache store: {exc}"
+        ) from exc
+    if tuple(json.loads(encoded)) != values:
+        raise CacheStoreError(
+            f"{what} {values!r} does not round-trip through JSON "
+            "(the sqlite cache store only supports JSON-faithful values)"
+        )
+    return encoded
+
+
+def _encode_rows(rows: FrozenSet[Row]) -> str:
+    encoded = sorted(_encode_value_list(tuple(row), "row") for row in rows)
+    return "[" + ",".join(encoded) + "]"
+
+
+def _decode_rows(payload: str) -> FrozenSet[Row]:
+    return frozenset(tuple(row) for row in json.loads(payload))
+
+
+class _SQLiteRecords(RelationRecords):
+    """Binding-tier handle of :class:`SQLiteCacheStore` for one relation."""
+
+    def __init__(self, store: "SQLiteCacheStore", relation_name: str) -> None:
+        self._store = store
+        self._relation = relation_name
+
+    def get(self, binding: Binding, touch: bool = True) -> Optional[FrozenSet[Row]]:
+        return self._store._get(self._relation, tuple(binding), touch)
+
+    def contains(self, binding: Binding) -> bool:
+        return self._store._contains(self._relation, tuple(binding))
+
+    def put(self, binding: Binding, rows: FrozenSet[Row]) -> None:
+        self._store._put(self._relation, tuple(binding), frozenset(rows))
+
+    def claim(self, binding: Binding) -> Tuple[ClaimStatus, Optional[FrozenSet[Row]]]:
+        return self._store._claim(self._relation, tuple(binding))
+
+    def release(self, binding: Binding) -> None:
+        self._store._release(self._relation, tuple(binding))
+
+    def bindings(self) -> FrozenSet[Binding]:
+        return self._store._bindings(self._relation)
+
+    def __len__(self) -> int:
+        return self._store._count(self._relation)
+
+
+class SQLiteCacheStore(CacheStore):
+    """Persistent cache store over one SQLite database file (WAL mode).
+
+    Layout::
+
+        records(relation, binding, rows, created, last_used)
+        claims(relation, binding, claimant, claimed_at)
+        results(key, answers, created, last_used)
+        counters(relation, hits)          -- survives restarts, feeds stats
+        store_meta(key, value)            -- schema fingerprint, format version
+
+    One connection (``check_same_thread=False``) is shared by all threads
+    and serialized on an internal lock; cross-*process* atomicity comes from
+    SQLite itself (``BEGIN IMMEDIATE`` write transactions, WAL journal, busy
+    timeout).  The claim table is the cross-process edition of the
+    claim/abandon protocol: a claimant row marks an access as in flight, and
+    a claim older than ``stale_claim_after`` is presumed orphaned by a dead
+    process and taken over.
+
+    When the store is unbounded, recorded rows are mirrored in an in-process
+    dict so repeated reads skip SQL entirely; any TTL/entry bound disables
+    the mirror (eviction must be observable on the next lookup).
+    """
+
+    kind = "sqlite"
+    persistent = True
+
+    _FORMAT_VERSION = "1"
+
+    def __init__(
+        self,
+        path: str,
+        ttl: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        result_cache: bool = False,
+        stale_claim_after: float = 10.0,
+        claim_poll_interval: float = 0.01,
+        claimant: Optional[str] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = path
+        self.ttl = ttl
+        self.max_entries = max_entries
+        self.result_cache = result_cache
+        self.stale_claim_after = stale_claim_after
+        self.claim_poll_interval = claim_poll_interval
+        # time.time() by default: claim timestamps must be comparable
+        # *across processes*, which rules out the monotonic clock.
+        self._clock = clock
+        self.claimant = claimant or f"{os.getpid()}:{uuid.uuid4().hex[:8]}"
+        self._lock = threading.RLock()
+        self._bounded = ttl is not None or max_entries is not None
+        self._mirror: Dict[Tuple[str, Binding], FrozenSet[Row]] = {}
+        self.counters = StoreCounters()
+        self._closed = False
+        self._conn = sqlite3.connect(
+            path, timeout=30.0, check_same_thread=False, isolation_level=None
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._create_tables()
+
+    @classmethod
+    def from_config(cls, config: CacheConfig) -> "SQLiteCacheStore":
+        if not config.path:
+            raise CacheStoreError("sqlite cache store needs a path")
+        return cls(
+            config.path,
+            ttl=config.ttl,
+            max_entries=config.max_entries,
+            result_cache=config.result_cache,
+            stale_claim_after=config.stale_claim_after,
+            claim_poll_interval=config.claim_poll_interval,
+        )
+
+    def _create_tables(self) -> None:
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS records ("
+                    " relation TEXT NOT NULL, binding TEXT NOT NULL,"
+                    " rows TEXT NOT NULL, created REAL NOT NULL,"
+                    " last_used REAL NOT NULL,"
+                    " PRIMARY KEY (relation, binding))"
+                )
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS claims ("
+                    " relation TEXT NOT NULL, binding TEXT NOT NULL,"
+                    " claimant TEXT NOT NULL, claimed_at REAL NOT NULL,"
+                    " PRIMARY KEY (relation, binding))"
+                )
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS results ("
+                    " key TEXT PRIMARY KEY, answers TEXT NOT NULL,"
+                    " created REAL NOT NULL, last_used REAL NOT NULL)"
+                )
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS counters ("
+                    " relation TEXT PRIMARY KEY, hits INTEGER NOT NULL)"
+                )
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS store_meta ("
+                    " key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+                )
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO store_meta (key, value) VALUES (?, ?)",
+                    ("format_version", self._FORMAT_VERSION),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            row = self._conn.execute(
+                "SELECT value FROM store_meta WHERE key = 'format_version'"
+            ).fetchone()
+            if row and row[0] != self._FORMAT_VERSION:
+                raise CacheStoreError(
+                    f"cache store {self.path!r} uses format version {row[0]}, "
+                    f"this build expects {self._FORMAT_VERSION}"
+                )
+
+    def records(self, relation: RelationSchema) -> RelationRecords:
+        return _SQLiteRecords(self, relation.name)
+
+    # -- binding tier ------------------------------------------------------
+    def _fetch(
+        self, relation: str, binding_key: str, touch: bool
+    ) -> Optional[FrozenSet[Row]]:
+        """Read one record inside the caller's transaction, expiring on TTL."""
+        row = self._conn.execute(
+            "SELECT rows, created FROM records WHERE relation = ? AND binding = ?",
+            (relation, binding_key),
+        ).fetchone()
+        if row is None:
+            return None
+        payload, created = row
+        now = self._clock()
+        if _expired(created, self.ttl, now):
+            self._conn.execute(
+                "DELETE FROM records WHERE relation = ? AND binding = ?",
+                (relation, binding_key),
+            )
+            self.counters.evictions += 1
+            return None
+        if touch and self.max_entries is not None:
+            self._conn.execute(
+                "UPDATE records SET last_used = ? WHERE relation = ? AND binding = ?",
+                (now, relation, binding_key),
+            )
+        return _decode_rows(payload)
+
+    def _count_hit(self, relation: str) -> None:
+        self.counters.binding_hits += 1
+        self._conn.execute(
+            "INSERT INTO counters (relation, hits) VALUES (?, 1) "
+            "ON CONFLICT(relation) DO UPDATE SET hits = hits + 1",
+            (relation,),
+        )
+
+    def _get(
+        self, relation: str, binding: Binding, touch: bool
+    ) -> Optional[FrozenSet[Row]]:
+        with self._lock:
+            mirrored = self._mirror.get((relation, binding))
+            if mirrored is not None:
+                if touch:
+                    self._count_hit(relation)
+                return mirrored
+            binding_key = _encode_value_list(binding, "binding")
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                rows = self._fetch(relation, binding_key, touch)
+                if rows is not None and touch:
+                    self._count_hit(relation)
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            if rows is not None and not self._bounded:
+                self._mirror[(relation, binding)] = rows
+            return rows
+
+    def _contains(self, relation: str, binding: Binding) -> bool:
+        with self._lock:
+            if (relation, binding) in self._mirror:
+                return True
+            binding_key = _encode_value_list(binding, "binding")
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                rows = self._fetch(relation, binding_key, touch=False)
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            return rows is not None
+
+    def _put(self, relation: str, binding: Binding, rows: FrozenSet[Row]) -> None:
+        with self._lock:
+            binding_key = _encode_value_list(binding, "binding")
+            payload = _encode_rows(rows)
+            now = self._clock()
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO records "
+                    "(relation, binding, rows, created, last_used) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (relation, binding_key, payload, now, now),
+                )
+                self._conn.execute(
+                    "DELETE FROM claims WHERE relation = ? AND binding = ?",
+                    (relation, binding_key),
+                )
+                self.counters.accesses_recorded += 1
+                if self.max_entries is not None:
+                    self._evict_lru("records", self.max_entries)
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            if not self._bounded:
+                self._mirror[(relation, binding)] = rows
+
+    def _evict_lru(self, table: str, bound: int) -> None:
+        """Drop least-recently-used rows beyond ``bound`` (caller holds a txn)."""
+        (count,) = self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()
+        excess = count - bound
+        if excess <= 0:
+            return
+        self._conn.execute(
+            f"DELETE FROM {table} WHERE rowid IN "
+            f"(SELECT rowid FROM {table} ORDER BY last_used, rowid LIMIT ?)",
+            (excess,),
+        )
+        if table == "records":
+            self.counters.evictions += excess
+        else:
+            self.counters.result_evictions += excess
+
+    def _claim(
+        self, relation: str, binding: Binding
+    ) -> Tuple[ClaimStatus, Optional[FrozenSet[Row]]]:
+        with self._lock:
+            binding_key = _encode_value_list(binding, "binding")
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                rows = self._fetch(relation, binding_key, touch=True)
+                if rows is not None:
+                    self._count_hit(relation)
+                    self._conn.execute("COMMIT")
+                    if not self._bounded:
+                        self._mirror[(relation, binding)] = rows
+                    return ClaimStatus.SERVED, rows
+                now = self._clock()
+                claim = self._conn.execute(
+                    "SELECT claimant, claimed_at FROM claims "
+                    "WHERE relation = ? AND binding = ?",
+                    (relation, binding_key),
+                ).fetchone()
+                if claim is None or claim[0] == self.claimant:
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO claims "
+                        "(relation, binding, claimant, claimed_at) VALUES (?, ?, ?, ?)",
+                        (relation, binding_key, self.claimant, now),
+                    )
+                    self._conn.execute("COMMIT")
+                    return ClaimStatus.OWNED, None
+                if now - claim[1] > self.stale_claim_after:
+                    # The claimant is presumed dead: take the access over so
+                    # a crashed process never wedges the shared domain.
+                    self._conn.execute(
+                        "UPDATE claims SET claimant = ?, claimed_at = ? "
+                        "WHERE relation = ? AND binding = ?",
+                        (self.claimant, now, relation, binding_key),
+                    )
+                    self.counters.claim_takeovers += 1
+                    self._conn.execute("COMMIT")
+                    return ClaimStatus.OWNED, None
+                self._conn.execute("COMMIT")
+                return ClaimStatus.WAIT, None
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def _release(self, relation: str, binding: Binding) -> None:
+        with self._lock:
+            binding_key = _encode_value_list(binding, "binding")
+            self._conn.execute(
+                "DELETE FROM claims WHERE relation = ? AND binding = ? AND claimant = ?",
+                (relation, binding_key, self.claimant),
+            )
+
+    def _bindings(self, relation: str) -> FrozenSet[Binding]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT binding FROM records WHERE relation = ?", (relation,)
+            ).fetchall()
+            return frozenset(tuple(json.loads(key)) for (key,) in rows)
+
+    def _count(self, relation: str) -> int:
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM records WHERE relation = ?", (relation,)
+            ).fetchone()
+            return count
+
+    # -- result tier -------------------------------------------------------
+    def lookup_result(self, key: str) -> Optional[FrozenSet[Row]]:
+        with self._lock:
+            self.counters.result_lookups += 1
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT answers, created FROM results WHERE key = ?", (key,)
+                ).fetchone()
+                if row is None:
+                    self._conn.execute("COMMIT")
+                    return None
+                payload, created = row
+                now = self._clock()
+                if _expired(created, self.ttl, now):
+                    self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
+                    self.counters.result_evictions += 1
+                    self._conn.execute("COMMIT")
+                    return None
+                self._conn.execute(
+                    "UPDATE results SET last_used = ? WHERE key = ?", (now, key)
+                )
+                self.counters.result_hits += 1
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            return _decode_rows(payload)
+
+    def record_result(self, key: str, answers: FrozenSet[Row]) -> None:
+        with self._lock:
+            payload = _encode_rows(answers)
+            now = self._clock()
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO results (key, answers, created, last_used) "
+                    "VALUES (?, ?, ?, ?)",
+                    (key, payload, now, now),
+                )
+                if self.max_entries is not None:
+                    self._evict_lru("results", self.max_entries)
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    # -- persistence hooks -------------------------------------------------
+    def persisted_hit_counters(self) -> Dict[str, int]:
+        with self._lock:
+            rows = self._conn.execute("SELECT relation, hits FROM counters").fetchall()
+            return {relation: hits for relation, hits in rows}
+
+    def check_fingerprint(self, fingerprint: str) -> None:
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT value FROM store_meta WHERE key = 'fingerprint'"
+                ).fetchone()
+                if row is None:
+                    self._conn.execute(
+                        "INSERT INTO store_meta (key, value) VALUES (?, ?)",
+                        ("fingerprint", fingerprint),
+                    )
+                    self._conn.execute("COMMIT")
+                    return
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            if row[0] != fingerprint:
+                raise CacheStoreError(
+                    f"cache store {self.path!r} was built over a different source "
+                    "schema; serving its rows here would be incorrect "
+                    f"(stored fingerprint {row[0][:12]}…, engine {fingerprint[:12]}…)"
+                )
+
+    # -- bookkeeping -------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            (binding_entries,) = self._conn.execute(
+                "SELECT COUNT(*) FROM records"
+            ).fetchone()
+            (result_entries,) = self._conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()
+            stats: Dict[str, object] = {
+                "kind": self.kind,
+                "persistent": self.persistent,
+                "binding_entries": binding_entries,
+                "result_entries": result_entries,
+            }
+            stats.update(self.counters.snapshot())
+            return stats
+
+    def clear(self) -> None:
+        with self._lock:
+            self._mirror.clear()
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                for table in ("records", "claims", "results", "counters"):
+                    self._conn.execute(f"DELETE FROM {table}")
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._conn.close()
+
+
+def build_store(config: CacheConfig) -> CacheStore:
+    """Instantiate the store selected by a :class:`CacheConfig`."""
+    if config.store == "memory":
+        return MemoryCacheStore.from_config(config)
+    if config.store == "sqlite":
+        return SQLiteCacheStore.from_config(config)
+    raise CacheStoreError(
+        f"unknown cache store kind {config.store!r}; use 'memory' or 'sqlite'"
+    )

@@ -246,6 +246,27 @@ class SourceRegistry:
         """Batched access by relation name (see :meth:`SourceWrapper.access_many`)."""
         return self.wrapper(relation_name).access_many(bindings, log, simulated_time)
 
+    def fingerprint(self) -> str:
+        """Stable digest of the registry's source schemata.
+
+        Persistent cache stores are bound to this digest: a store records
+        rows *of these relations under these access patterns*, so attaching
+        it to a registry with a different shape must be rejected (see
+        :meth:`repro.sources.store.CacheStore.check_fingerprint`).  The
+        digest covers relation names, access patterns and abstract domains
+        — not the data, which sources may legitimately re-serve.
+        """
+        import hashlib
+
+        parts = []
+        for name in sorted(self._wrappers):
+            schema = self._wrappers[name].schema
+            domains = ",".join(
+                getattr(domain, "name", str(domain)) for domain in schema.domains
+            )
+            parts.append(f"{name}/{schema.pattern}/{domains}")
+        return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
     def reset_counters(self) -> None:
         for wrapper in self._wrappers.values():
             wrapper.reset_counters()

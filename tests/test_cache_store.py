@@ -1,0 +1,400 @@
+"""The pluggable cache-store tier: configuration, eviction, persistence,
+cross-process sharing, and the canonical-key query-result cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import Engine
+from repro.examples import mixed_workload, running_example, star_example
+from repro.query.minimize import canonical_form
+from repro.query.parser import parse_query
+from repro.sources.resilience import FaultSchedule
+from repro.sources.store import (
+    CacheConfig,
+    CacheStoreError,
+    ClaimStatus,
+    MemoryCacheStore,
+    SQLiteCacheStore,
+    build_store,
+)
+from repro.sources.wrapper import SourceRegistry
+
+
+# -- configuration ----------------------------------------------------------
+
+
+def test_cache_config_parse_specs() -> None:
+    assert CacheConfig.parse("memory") == CacheConfig()
+    config = CacheConfig.parse("sqlite:/tmp/x.db", ttl=5.0, max_entries=10)
+    assert (config.store, config.path) == ("sqlite", "/tmp/x.db")
+    assert (config.ttl, config.max_entries) == (5.0, 10)
+    with pytest.raises(CacheStoreError):
+        CacheConfig.parse("sqlite")  # needs a path
+    with pytest.raises(CacheStoreError):
+        CacheConfig.parse("redis://nope")
+
+
+def test_cache_config_coerce_accepts_store_instance_and_rejects_junk() -> None:
+    store = MemoryCacheStore(result_cache=True)
+    config, adopted = CacheConfig.coerce(store)
+    assert adopted is store
+    assert config.store == "memory" and config.result_cache
+    assert CacheConfig.coerce(None) == (CacheConfig(), None)
+    with pytest.raises(CacheStoreError):
+        CacheConfig.coerce(42)  # type: ignore[arg-type]
+
+
+def test_build_store_rejects_unknown_kind() -> None:
+    with pytest.raises(CacheStoreError):
+        build_store(CacheConfig(store="carrier-pigeon"))
+
+
+# -- the in-memory store: default identity, TTL, LRU ------------------------
+
+
+def test_memory_default_store_preserves_session_semantics(example) -> None:
+    engine = Engine(example.schema, example.instance)
+    assert engine.session.store.kind == "memory"
+    assert not engine.session.store.persistent
+    first = engine.execute(example.query_text, strategy="fast_fail")
+    second = engine.execute(example.query_text, strategy="fast_fail")
+    assert second.answers == first.answers == example.expected_answers
+    assert first.total_accesses > 0
+    assert second.total_accesses == 0  # every access served by the store
+    stats = engine.session.stats()["cache_store"]
+    assert stats["kind"] == "memory"
+    assert stats["evictions"] == 0  # unbounded default never evicts
+
+
+def test_memory_ttl_expires_entries_with_injected_clock(example) -> None:
+    now = [0.0]
+    store = MemoryCacheStore(ttl=10.0, clock=lambda: now[0])
+    records = store.records(next(iter(example.schema)))
+    records.put(("a",), frozenset({("a", "b")}))
+    assert records.get(("a",)) == frozenset({("a", "b")})
+    now[0] = 10.5  # past the TTL: the entry lazily expires on lookup
+    assert records.get(("a",)) is None
+    assert not records.contains(("a",))
+    assert store.counters.evictions == 1
+
+
+def test_memory_lru_eviction_prefers_least_recently_used(example) -> None:
+    store = MemoryCacheStore(max_entries=2)
+    records = store.records(next(iter(example.schema)))
+    records.put(("a",), frozenset({("a", "1")}))
+    records.put(("b",), frozenset({("b", "1")}))
+    assert records.get(("a",)) is not None  # touch "a": "b" is now the LRU
+    records.put(("c",), frozenset({("c", "1")}))
+    assert records.contains(("a",)) and records.contains(("c",))
+    assert not records.contains(("b",))
+    assert store.counters.evictions == 1
+
+
+def test_bounded_session_reperforms_evicted_accesses() -> None:
+    """Satellite: eviction is re-performance, never a wrong answer.
+
+    A session bounded to fewer entries than the workload needs keeps
+    answering correctly — an evicted binding is simply re-performed (and
+    re-counted by the budget) on the next execution, unlike the unbounded
+    default where a repeat costs zero accesses.
+    """
+    example = star_example(rays=2, width=5)
+    engine = Engine(example.schema, example.instance, cache=CacheConfig(max_entries=2))
+    first = engine.execute(example.query_text, strategy="fast_fail")
+    second = engine.execute(example.query_text, strategy="fast_fail")
+    assert first.answers == second.answers == example.expected_answers
+    assert first.total_accesses > 2  # the workload overflows the bound...
+    assert second.total_accesses > 0  # ...so the repeat re-performs accesses
+    assert second.total_accesses == sum(b.accesses for b in second.per_source)
+    stats = engine.session.stats()["cache_store"]
+    assert stats["evictions"] > 0
+    assert stats["binding_entries"] <= 2
+
+
+def test_bounded_memory_claim_is_trivially_owned(example) -> None:
+    records = MemoryCacheStore(max_entries=1).records(next(iter(example.schema)))
+    assert records.claim(("x",)) == (ClaimStatus.OWNED, None)
+    records.release(("x",))  # releasing an unrecorded claim is a no-op
+
+
+# -- the SQLite store: persistence and warm starts --------------------------
+
+
+def _sqlite_engine(example, path: str, **knobs) -> Engine:
+    return Engine(
+        example.schema,
+        example.instance,
+        cache=CacheConfig(store="sqlite", path=str(path), **knobs),
+    )
+
+
+def test_sqlite_warm_restart_repeats_zero_accesses(tmp_path) -> None:
+    example = star_example(rays=3, width=6)
+    path = tmp_path / "store.db"
+    with _sqlite_engine(example, path) as engine:
+        cold = engine.execute(example.query_text, strategy="fast_fail")
+    assert cold.total_accesses > 0
+    with _sqlite_engine(example, path) as engine:
+        warm = engine.execute(example.query_text, strategy="fast_fail")
+        stats = engine.session.stats()["cache_store"]
+    assert warm.answers == cold.answers == example.expected_answers
+    assert warm.total_accesses == 0  # every access replayed from disk
+    assert stats["binding_hits"] > 0
+
+
+def test_sqlite_store_cold_run_matches_memory_counts(tmp_path) -> None:
+    example = star_example(rays=2, width=5)
+    with _sqlite_engine(example, tmp_path / "store.db") as engine:
+        stored = engine.execute(example.query_text, strategy="fast_fail")
+    plain = Engine(example.schema, example.instance).execute(
+        example.query_text, strategy="fast_fail"
+    )
+    assert stored.answers == plain.answers
+    assert stored.total_accesses == plain.total_accesses
+
+
+def test_sqlite_hit_counters_survive_restart(tmp_path) -> None:
+    example = star_example(rays=2, width=4)
+    path = tmp_path / "store.db"
+    with _sqlite_engine(example, path) as engine:
+        engine.execute(example.query_text, strategy="fast_fail")
+        engine.execute(example.query_text, strategy="fast_fail")  # all hits
+    store = SQLiteCacheStore(str(path))
+    try:
+        persisted = store.persisted_hit_counters()
+    finally:
+        store.close()
+    assert persisted and sum(persisted.values()) > 0
+    # A restarted engine preloads those counters into its statistics, so
+    # cost-based decisions see the store's full history, not just this run.
+    with _sqlite_engine(example, path) as engine:
+        engine.execute(example.query_text, strategy="fast_fail")
+        merged = engine.session.statistics.per_relation_summary()
+    assert sum(row["meta_hits"] for row in merged.values()) > sum(persisted.values())
+
+
+def test_sqlite_fingerprint_mismatch_raises(tmp_path) -> None:
+    path = tmp_path / "store.db"
+    first = star_example(rays=2, width=3)
+    with _sqlite_engine(first, path) as engine:
+        engine.execute(first.query_text, strategy="fast_fail")
+    other = running_example()  # different schema entirely
+    with pytest.raises(CacheStoreError, match="different source schema"):
+        _sqlite_engine(other, path)
+
+
+def test_sqlite_rejects_unserializable_binding(tmp_path, example) -> None:
+    store = SQLiteCacheStore(str(tmp_path / "store.db"))
+    try:
+        records = store.records(next(iter(example.schema)))
+        with pytest.raises(CacheStoreError, match="cannot be serialized"):
+            records.put((object(),), frozenset())
+    finally:
+        store.close()
+
+
+def test_sqlite_session_reset_erases_persisted_domain(tmp_path) -> None:
+    example = star_example(rays=2, width=3)
+    path = tmp_path / "store.db"
+    with _sqlite_engine(example, path) as engine:
+        cold = engine.execute(example.query_text, strategy="fast_fail")
+        engine.reset_session()
+        again = engine.execute(example.query_text, strategy="fast_fail")
+    assert again.answers == cold.answers
+    assert again.total_accesses == cold.total_accesses  # domain was wiped
+
+
+def test_sqlite_ttl_eviction_reperforms_accesses(tmp_path) -> None:
+    example = star_example(rays=2, width=3)
+    now = [1000.0]
+    store = SQLiteCacheStore(str(tmp_path / "store.db"), ttl=60.0, clock=lambda: now[0])
+    with Engine(example.schema, example.instance, cache=store) as engine:
+        cold = engine.execute(example.query_text, strategy="fast_fail")
+        now[0] += 61.0  # every record is now past its TTL
+        stale = engine.execute(example.query_text, strategy="fast_fail")
+    assert stale.answers == cold.answers
+    assert stale.total_accesses == cold.total_accesses  # all re-performed
+    assert store.counters.evictions > 0
+
+
+# -- cross-process claims ----------------------------------------------------
+
+
+def test_sqlite_claim_wait_and_stale_takeover(tmp_path, example) -> None:
+    path = str(tmp_path / "store.db")
+    relation = next(iter(example.schema))
+    now = [0.0]
+    alive = SQLiteCacheStore(
+        path, stale_claim_after=5.0, claimant="alive", clock=lambda: now[0]
+    )
+    rival = SQLiteCacheStore(
+        path, stale_claim_after=5.0, claimant="rival", clock=lambda: now[0]
+    )
+    try:
+        assert alive.records(relation).claim(("k",)) == (ClaimStatus.OWNED, None)
+        # Re-claiming one's own access stays OWNED (idempotent).
+        assert alive.records(relation).claim(("k",)) == (ClaimStatus.OWNED, None)
+        # A live foreign claim makes the rival wait...
+        now[0] = 1.0
+        assert rival.records(relation).claim(("k",)) == (ClaimStatus.WAIT, None)
+        # ...until it goes stale, at which point the rival takes it over.
+        now[0] = 6.5
+        assert rival.records(relation).claim(("k",)) == (ClaimStatus.OWNED, None)
+        assert rival.counters.claim_takeovers == 1
+        # The original owner's release no longer touches the rival's claim.
+        alive.records(relation).release(("k",))
+        rows = frozenset({("k", "v")})
+        rival.records(relation).put(("k",), rows)
+        assert alive.records(relation).claim(("k",)) == (ClaimStatus.SERVED, rows)
+    finally:
+        alive.close()
+        rival.close()
+
+
+_RACE_CHILD = """
+import json, sys
+from repro.engine.engine import Engine
+from repro.examples import star_example
+
+example = star_example(rays=3, width=8)
+with Engine(example.schema, example.instance, cache="sqlite:" + sys.argv[1]) as engine:
+    report = engine.run_workload(
+        [example.query_text], strategy="fast_fail", max_parallel=2
+    )
+assert report.results[0].answers == example.expected_answers
+print(json.dumps({"accesses": report.total_accesses}))
+"""
+
+
+def test_two_processes_share_one_access_domain(tmp_path) -> None:
+    """Two racing processes perform each access exactly once between them."""
+    example = star_example(rays=3, width=8)
+    with Engine(example.schema, example.instance) as engine:
+        solo = engine.execute(example.query_text, strategy="fast_fail")
+    path = str(tmp_path / "race.db")
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    children = [
+        subprocess.Popen(
+            [sys.executable, "-c", _RACE_CHILD, path],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        for _ in range(2)
+    ]
+    totals = []
+    for child in children:
+        out, err = child.communicate(timeout=120)
+        assert child.returncode == 0, err.decode()
+        totals.append(json.loads(out)["accesses"])
+    # However the two processes interleave, the claim table guarantees the
+    # union of their work is the solo run — no access is ever repeated.
+    assert sum(totals) == solo.total_accesses
+
+
+# -- the query-result cache --------------------------------------------------
+
+
+def test_canonical_form_is_alpha_and_order_invariant() -> None:
+    base = parse_query("q(X) <- r1(A, X, Y), r2('volare', Z, A)")
+    renamed = base.rename_apart("_other")
+    permuted = parse_query("q(X) <- r2('volare', Z, A), r1(A, X, Y)")
+    different = parse_query("q(X) <- r1(A, X, Y)")
+    assert str(renamed) != str(base)  # textually distinct...
+    assert canonical_form(renamed) == canonical_form(base)  # ...same shape
+    assert canonical_form(permuted) == canonical_form(base)
+    assert canonical_form(different) != canonical_form(base)
+
+
+def test_result_cache_serves_alpha_equivalent_repeats(example) -> None:
+    engine = Engine(
+        example.schema, example.instance, cache=CacheConfig(result_cache=True)
+    )
+    first = engine.execute(example.query_text, strategy="fast_fail")
+    assert not first.result_cache_hit
+    renamed = str(parse_query(example.query_text).rename_apart("_v2"))
+    repeat = engine.execute(renamed, strategy="fast_fail")
+    assert repeat.result_cache_hit
+    assert repeat.answers == first.answers == example.expected_answers
+    assert repeat.total_accesses == 0 and repeat.per_source == ()
+    assert "result cache" in repeat.summary()
+    stats = engine.session.stats()["cache_store"]
+    assert stats["result_hits"] == 1 and stats["result_entries"] == 1
+
+
+def test_result_cache_skips_incomplete_results() -> None:
+    example = star_example(rays=2, width=4)
+    registry = SourceRegistry(example.instance)
+    registry.inject_faults(FaultSchedule(seed=1, transient_rate=1.0))
+    engine = Engine(
+        example.schema, registry, cache=CacheConfig(result_cache=True)
+    )
+    first = engine.execute(example.query_text, strategy="fast_fail")
+    assert not first.complete  # every source call faults
+    repeat = engine.execute(example.query_text, strategy="fast_fail")
+    assert not repeat.result_cache_hit  # incomplete results are never cached
+
+
+def test_result_cache_off_by_default(example) -> None:
+    engine = Engine(example.schema, example.instance)
+    engine.execute(example.query_text, strategy="fast_fail")
+    repeat = engine.execute(example.query_text, strategy="fast_fail")
+    assert not repeat.result_cache_hit  # served by the binding tier instead
+    assert repeat.total_accesses == 0
+
+
+# -- reporting ---------------------------------------------------------------
+
+
+def test_workload_report_carries_cache_tier_stats(tmp_path) -> None:
+    workload = mixed_workload(("star", "diamond"), repeat=2)
+    with Engine(
+        workload.schema,
+        workload.instance,
+        cache=CacheConfig(store="sqlite", path=str(tmp_path / "w.db")),
+    ) as engine:
+        report = engine.run_workload(workload.query_texts(), strategy="fast_fail")
+    cache = report.cache_stats
+    assert cache["store"] == "sqlite" and cache["persistent"]
+    assert cache["binding_hits"] >= 0 and 0.0 <= cache["binding_hit_rate"] <= 1.0
+    assert cache["binding_entries"] > 0
+    assert cache["result_cache"] is False and cache["result_hits"] == 0
+    assert report.to_dict()["cache"] == cache
+
+
+def test_cli_cache_store_flags(tmp_path, capsys) -> None:
+    from repro.cli import main
+
+    path = str(tmp_path / "cli.db")
+    assert main(["run", "--example", "--cache-store", f"sqlite:{path}", "--json"]) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert main(["run", "--example", "--cache-store", f"sqlite:{path}", "--json"]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["answers"] == cold["answers"]
+    assert cold["total_accesses"] > 0 and warm["total_accesses"] == 0
+    # Pointing a differently-schemaed workload at the same store trips the
+    # fingerprint guard instead of silently serving the wrong rows.
+    assert (
+        main(["workload", "--mix", "star", "--cache-store", f"sqlite:{path}", "--json"])
+        == 2
+    )
+    captured = capsys.readouterr()
+    assert "different source schema" in captured.err
+    other = str(tmp_path / "workload.db")
+    assert (
+        main(["workload", "--mix", "star", "--cache-store", f"sqlite:{other}", "--json"])
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cache"]["store"] == "sqlite"

@@ -14,7 +14,11 @@ per-relation latencies, then asserts:
   access counts, same per-source breakdown, byte-identical result payload;
 * under injected transient faults with retries, every strategy still
   returns a result and the completeness contract holds (complete ⇒ the
-  fault-free answers; diverging answers ⇒ flagged incomplete).
+  fault-free answers; diverging answers ⇒ flagged incomplete);
+* swapping the session's in-memory cache store for a fresh SQLite store
+  changes nothing: identical answers and identical access counts, total
+  and per-source (the store is where the access domain lives, not what
+  gets accessed).
 
 The fixed-seed subset runs in CI; the full sweep is `pytest -m slow`.
 """
@@ -23,6 +27,8 @@ from __future__ import annotations
 
 import json
 import random
+import tempfile
+from pathlib import Path
 from typing import Dict, Tuple
 
 import pytest
@@ -199,6 +205,44 @@ def check_cost_optimizer_equivalence(seed: int) -> None:
         assert structural.optimizer_report is None
 
 
+def check_sqlite_store_equivalence(seed: int) -> None:
+    """A persistent cache store is a transport, never a semantics.
+
+    Each strategy runs the generated scenario twice — once on the default
+    in-memory cache store and once on a fresh SQLite store — and must
+    produce identical answers *and* identical access counts (total and
+    per-source).  The store only changes where the "never repeat an
+    access" domain lives, not what gets accessed.
+    """
+    example, latencies = generate_case(seed)
+    for strategy in STRATEGIES:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = str(Path(tmp) / "fuzz_store.db")
+            with Engine(
+                example.schema,
+                _registry(example, latencies, "memory"),
+                cache=f"sqlite:{path}",
+            ) as engine:
+                stored = engine.execute(example.query_text, strategy=strategy)
+        plain = _execute(example, _registry(example, latencies, "memory"), strategy)
+        assert stored.answers == plain.answers == example.expected_answers, (
+            f"seed {seed}: {strategy} answers diverged between cache stores "
+            f"on {example.name}"
+        )
+        observed = (
+            stored.total_accesses,
+            tuple(sorted((b.relation, b.accesses) for b in stored.per_source)),
+        )
+        expected = (
+            plain.total_accesses,
+            tuple(sorted((b.relation, b.accesses) for b in plain.per_source)),
+        )
+        assert observed == expected, (
+            f"seed {seed}: {strategy} access counts diverged between cache "
+            f"stores on {example.name}: {observed} != {expected}"
+        )
+
+
 def check_faulty_runs_hold_the_completeness_contract(seed: int) -> None:
     example, latencies = generate_case(seed)
     rng = random.Random(seed * 7919 + 1)
@@ -249,6 +293,11 @@ def test_fuzz_cost_optimizer_equivalence(seed: int) -> None:
     check_cost_optimizer_equivalence(seed)
 
 
+@pytest.mark.parametrize("seed", CI_SEEDS)
+def test_fuzz_sqlite_store_equivalence(seed: int) -> None:
+    check_sqlite_store_equivalence(seed)
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", FULL_SEEDS)
 def test_fuzz_full_sweep(seed: int) -> None:
@@ -256,3 +305,4 @@ def test_fuzz_full_sweep(seed: int) -> None:
     check_zero_fault_rate_is_identity(seed)
     check_faulty_runs_hold_the_completeness_contract(seed)
     check_cost_optimizer_equivalence(seed)
+    check_sqlite_store_equivalence(seed)
