@@ -66,6 +66,7 @@ from repro.sources.resilience import (  # noqa: E402
     FaultSchedule,
     RetryPolicy,
 )
+from repro.sources.fixture_server import FixtureServer  # noqa: E402
 from repro.sources.store import CacheConfig  # noqa: E402
 from repro.sources.wrapper import SourceRegistry  # noqa: E402
 
@@ -409,6 +410,107 @@ def bench_fault_tolerance() -> Dict[str, object]:
     return entry
 
 
+#: Real per-lookup latency of the loopback HTTP fixture in the async pass.
+ASYNC_BACKEND_LATENCY = 0.002
+
+#: In-flight bounds swept by the async dispatcher pass (full run).
+ASYNC_IN_FLIGHT_LIMITS = (8, 64, 512)
+
+
+def bench_async_dispatch(smoke: bool) -> Dict[str, object]:
+    """Async vs thread-pool vs simulated dispatch over a real HTTP source.
+
+    Serves the star and chaos instances from the loopback fixture server
+    with 2ms per-lookup latency, then runs the distillation strategy
+    through all three dispatchers: the sequential simulated dispatcher
+    (every lookup is a blocking round trip), the real thread pool (one
+    batch per relation in flight), and the asyncio dispatcher at a sweep
+    of ``max_in_flight`` bounds.  Every run is asserted equivalent to the
+    in-memory simulation — same answers, same access count — so the sweep
+    doubles as a transport/dispatcher equivalence pass.  The full run
+    asserts that the async dispatcher genuinely sustains >=512 in-flight
+    accesses on the star workload and beats the thread pool's wall clock
+    at that bound.
+    """
+    examples = (
+        [star_example(rays=3, width=40), chaos_example(width=6, rays=2)]
+        if smoke
+        else [star_example(rays=4, width=150), chaos_example(width=10, rays=3)]
+    )
+    limits = (8, 64) if smoke else ASYNC_IN_FLIGHT_LIMITS
+    entry: Dict[str, object] = {
+        "backend_latency": ASYNC_BACKEND_LATENCY,
+        "in_flight_limits": list(limits),
+        "workloads": {},
+    }
+    for example in examples:
+        with Engine(example.schema, example.instance) as engine:
+            baseline = engine.execute(
+                example.query_text, strategy="distillation", share_session_cache=False
+            )
+        assert baseline.answers == example.expected_answers
+
+        with FixtureServer(example.instance, latency=ASYNC_BACKEND_LATENCY) as server:
+
+            def run(**overrides):
+                registry = SourceRegistry(example.instance, backend=server.url)
+                with Engine(example.schema, registry) as engine:
+                    started = time.perf_counter()
+                    result = engine.execute(
+                        example.query_text,
+                        strategy="distillation",
+                        share_session_cache=False,
+                        **overrides,
+                    )
+                    wall = time.perf_counter() - started
+                assert result.answers == example.expected_answers, (
+                    f"{overrides or 'simulated'} over HTTP returned wrong answers "
+                    f"on {example.name}"
+                )
+                assert result.total_accesses == baseline.total_accesses, (
+                    f"{overrides or 'simulated'} over HTTP performed "
+                    f"{result.total_accesses} accesses, expected "
+                    f"{baseline.total_accesses} on {example.name}"
+                )
+                return result, wall
+
+            _, simulated_wall = run()
+            _, threads_wall = run(concurrency="real", max_workers=limits[-1])
+            async_runs: Dict[str, object] = {}
+            for limit in limits:
+                result, wall = run(concurrency="async", max_in_flight=limit)
+                async_runs[f"in_flight_{limit}"] = {
+                    "wall_seconds": round(wall, 6),
+                    "peak_in_flight": result.raw.peak_in_flight,
+                }
+        record: Dict[str, object] = {
+            "accesses": baseline.total_accesses,
+            "simulated": {"wall_seconds": round(simulated_wall, 6)},
+            "thread_pool": {
+                "wall_seconds": round(threads_wall, 6),
+                "max_workers": limits[-1],
+            },
+            "async": async_runs,
+        }
+        top = async_runs[f"in_flight_{limits[-1]}"]
+        if not smoke and example.name.startswith("star"):
+            assert top["peak_in_flight"] >= 512, (  # type: ignore[index]
+                f"async dispatcher peaked at {top['peak_in_flight']} in-flight "  # type: ignore[index]
+                f"accesses on {example.name}; expected >= 512"
+            )
+            assert top["wall_seconds"] < threads_wall, (  # type: ignore[index]
+                f"async dispatcher ({top['wall_seconds']}s) did not beat the "  # type: ignore[index]
+                f"thread pool ({threads_wall:.3f}s) on {example.name}"
+            )
+            record["async_beats_thread_pool"] = True
+        record["speedup_vs_simulated"] = round(
+            simulated_wall / top["wall_seconds"], 3  # type: ignore[operator]
+        )
+        entry["workloads"][example.name] = record  # type: ignore[index]
+    entry["equivalent_to_simulated"] = True
+    return entry
+
+
 def _optimizer_topologies() -> List[Example]:
     """The six topologies the cost-vs-structural assertion sweeps."""
     return [
@@ -645,6 +747,18 @@ def main(argv: List[str] | None = None) -> int:
         f"{real_entry['accesses']} accesses, makespan {real_entry['makespan_seconds']}s, "
         f"speedup {real_entry['parallel_speedup']}x"
     )
+    async_entry = bench_async_dispatch(args.smoke)
+    for name, record in async_entry["workloads"].items():  # type: ignore[union-attr]
+        top_limit = async_entry["in_flight_limits"][-1]  # type: ignore[index]
+        top = record["async"][f"in_flight_{top_limit}"]
+        print(
+            f"async dispatch on {name}: {record['accesses']} accesses over HTTP — "
+            f"simulated {record['simulated']['wall_seconds']}s, "
+            f"threads {record['thread_pool']['wall_seconds']}s, "
+            f"async@{top_limit} {top['wall_seconds']}s "
+            f"(peak in flight {top['peak_in_flight']}, "
+            f"{record['speedup_vs_simulated']}x vs simulated)"
+        )
     throughput_entry = bench_workload_throughput()
     parallel_run = throughput_entry["runs"]["max_parallel_4"]  # type: ignore[index]
     print(
@@ -699,6 +813,7 @@ def main(argv: List[str] | None = None) -> int:
         "results": results,
         "backend_equivalence": backend_entry,
         "real_concurrency": real_entry,
+        "async_dispatch": async_entry,
         "workload_throughput": throughput_entry,
         "optimizer": optimizer_entry,
         "fault_tolerance": fault_entry,

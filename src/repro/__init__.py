@@ -34,6 +34,7 @@ from repro.model.schema import RelationSchema, Schema
 from repro.plan.parallel import StreamedAnswer
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.parser import parse_query
+from repro.sources.async_backend import AsyncBackend, AsyncBackendAdapter, as_async_backend
 from repro.sources.backend import (
     CallableBackend,
     InMemoryBackend,
@@ -41,6 +42,8 @@ from repro.sources.backend import (
     SQLiteBackend,
     build_backend,
 )
+from repro.sources.fixture_server import FixtureServer
+from repro.sources.http import HTTPBackend
 from repro.sources.resilience import (
     BreakerConfig,
     CircuitBreaker,
@@ -55,6 +58,8 @@ from repro.sources.wrapper import SourceRegistry
 __version__ = "0.2.0"
 
 __all__ = [
+    "AsyncBackend",
+    "AsyncBackendAdapter",
     "BreakerConfig",
     "CallableBackend",
     "CircuitBreaker",
@@ -66,7 +71,9 @@ __all__ = [
     "ExecutionStrategy",
     "Explanation",
     "FaultSchedule",
+    "FixtureServer",
     "FlakyBackend",
+    "HTTPBackend",
     "InMemoryBackend",
     "PreparedPlan",
     "RelationSchema",
@@ -83,6 +90,7 @@ __all__ = [
     "StreamedAnswer",
     "Termination",
     "WorkloadReport",
+    "as_async_backend",
     "available_strategies",
     "build_backend",
     "parse_query",

@@ -23,6 +23,16 @@ concurrently over one engine session and reports throughput::
     python -m repro workload --mix star,diamond --optimizer cost --json
     python -m repro workload --mix star,diamond --cache-store sqlite:/tmp/c.db --json
     python -m repro run --example --result-cache --cache-max-entries 1000
+    python -m repro serve-fixture --scenario star:rays=4 --latency 0.002
+    python -m repro run --scenario star:rays=4 --backend http://127.0.0.1:8080 \
+        --strategy distillation --concurrency async --max-in-flight 256
+    python -m repro workload --mix star,chain --concurrency async
+
+``serve-fixture`` exposes a scenario's sources as a loopback HTTP JSON
+lookup service (the protocol of :mod:`repro.sources.http`); ``--backend
+http://HOST:PORT`` points any other command at it.  ``--concurrency
+async`` dispatches accesses as asyncio tasks on one event loop — with
+``--max-in-flight`` bounding the window — and works with every strategy.
 
 ``--optimizer cost`` replaces the structural d-graph access order with the
 statistics-driven cost-based order of :mod:`repro.optimizer` (identical
@@ -54,6 +64,7 @@ Workload file format::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from typing import Dict, List, Optional, Tuple
@@ -297,6 +308,19 @@ def _build_engine(args: argparse.Namespace) -> Tuple[Engine, str]:
     return Engine(schema, registry, cache=_cache_config(args)), query
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        metavar="KIND|URL",
+        default="memory",
+        help=(
+            f"where accesses are answered from: {', '.join(BACKEND_KINDS)}, or an "
+            "http(s)://HOST:PORT JSON lookup service (see serve-fixture); "
+            "default: memory"
+        ),
+    )
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("query", nargs="?", help="conjunctive query, e.g. \"q(X) <- r(X, Y)\"")
     parser.add_argument(
@@ -313,12 +337,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "parameters after ':', e.g. star:rays=4,width=10"
         ),
     )
-    parser.add_argument(
-        "--backend",
-        choices=BACKEND_KINDS,
-        default="memory",
-        help="where accesses are answered from (default: memory)",
-    )
+    _add_backend_argument(parser)
     parser.add_argument(
         "--backend-latency",
         type=float,
@@ -363,6 +382,8 @@ def _command_run(args: argparse.Namespace) -> int:
     # but honor an explicit --strategy (naive/fast_fail then fail loudly).
     strategy = args.strategy or ("distillation" if args.stream else "fast_fail")
     if args.concurrency == "real" and strategy != "distillation":
+        # 'async' applies to every strategy; only the thread pool is
+        # distillation-specific.
         raise ReproError(
             f"--concurrency real only applies to the distillation strategy, "
             f"not {strategy!r}; pass --strategy distillation"
@@ -378,6 +399,7 @@ def _command_run(args: argparse.Namespace) -> int:
                 answer_check_interval=1,
                 concurrency=args.concurrency,
                 max_workers=args.max_workers,
+                max_in_flight=args.max_in_flight,
                 optimizer=args.optimizer,
                 **resilience,
             ):
@@ -401,6 +423,7 @@ def _command_run(args: argparse.Namespace) -> int:
             strategy=strategy,
             concurrency=args.concurrency,
             max_workers=args.max_workers,
+            max_in_flight=args.max_in_flight,
             optimizer=args.optimizer,
             **resilience,
         )
@@ -432,6 +455,8 @@ def _command_workload(args: argparse.Namespace) -> int:
             strategy=args.strategy,
             max_parallel=args.max_parallel,
             optimizer=args.optimizer,
+            concurrency=args.concurrency,
+            max_in_flight=args.max_in_flight,
             **_resilience_overrides(args),
         )
         # The completeness contract under test: a result claiming complete
@@ -516,6 +541,28 @@ def _command_workload(args: argparse.Namespace) -> int:
         return 0
 
 
+def _command_serve_fixture(args: argparse.Namespace) -> int:
+    """Serve a scenario/workload's sources over the HTTP lookup protocol."""
+    if args.example:
+        instance = running_example().instance
+    elif args.scenario:
+        name, params = parse_scenario_spec(args.scenario)
+        instance = make_scenario(name, **params).instance
+    elif args.workload:
+        _, instance, _ = load_workload(args.workload)
+    else:
+        raise ReproError("one of --example, --scenario NAME or --workload FILE is required")
+    from repro.sources.fixture_server import serve_forever
+
+    try:
+        asyncio.run(
+            serve_forever(instance, host=args.host, port=args.port, latency=args.latency)
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -553,11 +600,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--concurrency",
-        choices=("simulated", "real"),
+        choices=("simulated", "real", "async"),
         default="simulated",
         help=(
-            "distillation dispatch mode: deterministic simulation (default) or "
-            "actual thread-pool accesses against the backends"
+            "access dispatch mode: deterministic simulation (default), "
+            "actual thread-pool accesses (distillation only), or asyncio "
+            "tasks on one event loop (any strategy)"
         ),
     )
     run_parser.add_argument(
@@ -565,6 +613,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="thread-pool size for --concurrency real (default: 8)",
+    )
+    run_parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bound on simultaneously in-flight accesses for --concurrency async (default: 64)",
     )
     _add_resilience_arguments(run_parser)
     run_parser.set_defaults(handler=_command_run)
@@ -613,11 +668,22 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: structural)"
         ),
     )
+    _add_backend_argument(workload_parser)
     workload_parser.add_argument(
-        "--backend",
-        choices=BACKEND_KINDS,
-        default="memory",
-        help="where accesses are answered from (default: memory)",
+        "--concurrency",
+        choices=("simulated", "real", "async"),
+        default="simulated",
+        help=(
+            "per-query dispatch mode; 'async' additionally runs the whole "
+            "stream as coroutines on one event loop instead of threads"
+        ),
+    )
+    workload_parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bound on simultaneously in-flight accesses per query with --concurrency async",
     )
     workload_parser.add_argument(
         "--backend-latency",
@@ -635,6 +701,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     workload_parser.set_defaults(handler=_command_workload)
+
+    serve_parser = subparsers.add_parser(
+        "serve-fixture",
+        help=(
+            "serve a scenario's sources as an HTTP JSON lookup service "
+            "(the protocol --backend http://HOST:PORT speaks); prints its "
+            "URL on stdout and runs until interrupted"
+        ),
+    )
+    serve_parser.add_argument(
+        "--workload", "-w", metavar="FILE", help="JSON workload file (relations/tuples)"
+    )
+    serve_parser.add_argument(
+        "--example", action="store_true", help="serve the paper's built-in running example"
+    )
+    serve_parser.add_argument(
+        "--scenario",
+        metavar="NAME[:k=v,...]",
+        help=(
+            f"serve a generated scenario topology ({', '.join(sorted(SCENARIOS))}); "
+            "parameters after ':', e.g. star:rays=4,width=10"
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0, help="port to bind (default: 0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--latency",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "await asyncio.sleep(SECONDS) per lookup: concurrent clients "
+            "overlap the sleeps, sequential ones pay them back to back"
+        ),
+    )
+    serve_parser.set_defaults(handler=_command_serve_fixture)
 
     return parser
 

@@ -18,11 +18,12 @@ whole workload).
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import AsyncIterator, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.explain import Explanation
 from repro.engine.prepared import PreparedPlan
@@ -340,6 +341,33 @@ class Engine:
         """Plan and stream incremental answers in one call."""
         return self.plan(query).stream(strategy=strategy, options=options, **overrides)
 
+    async def aexecute(
+        self,
+        query: Union[str, ConjunctiveQuery],
+        strategy: StrategyLike = "fast_fail",
+        options: Optional[ExecuteOptions] = None,
+        **overrides: object,
+    ) -> Result:
+        """Plan and execute on the caller's event loop.
+
+        Pass ``concurrency="async"`` (per call or in the engine's default
+        options) to overlap the query's source accesses as asyncio tasks;
+        other modes are stepped inline by the kernel's async driver.
+        """
+        return await self.plan(query).aexecute(
+            strategy=strategy, options=options, **overrides
+        )
+
+    def astream(
+        self,
+        query: Union[str, ConjunctiveQuery],
+        strategy: StrategyLike = "distillation",
+        options: Optional[ExecuteOptions] = None,
+        **overrides: object,
+    ) -> AsyncIterator[StreamedAnswer]:
+        """Plan and stream incremental answers as an async generator."""
+        return self.plan(query).astream(strategy=strategy, options=options, **overrides)
+
     def explain(self, query: Union[str, ConjunctiveQuery]) -> Explanation:
         """Plan and explain in one call."""
         return self.plan(query).explain()
@@ -386,6 +414,20 @@ class Engine:
         second, the session meta-cache hit rate over the run, and the peak
         number of queries that were executing simultaneously.
         """
+        effective = options if options is not None else self.default_options
+        if overrides.get("concurrency", effective.concurrency) == "async":
+            # The whole workload on one private event loop: queries overlap
+            # as coroutines instead of threads (await arun_workload() to
+            # run it on an existing loop).
+            return asyncio.run(
+                self.arun_workload(
+                    queries,
+                    strategy=strategy,
+                    max_parallel=max_parallel,
+                    options=options,
+                    **overrides,
+                )
+            )
         prepared = [self.plan(query) for query in queries]
         gauge_lock = threading.Lock()
         in_flight = 0
@@ -402,10 +444,7 @@ class Engine:
                 with gauge_lock:
                     in_flight -= 1
 
-        accesses_before = self.session.log.total_accesses
-        hits_before = self.session.meta_hits
-        store = self.session.store
-        store_before = store.stats()
+        before = self._workload_before()
         started = time.perf_counter()
         if max_parallel <= 1 or len(prepared) <= 1:
             results = [run_one(plan) for plan in prepared]
@@ -413,7 +452,82 @@ class Engine:
             with ThreadPoolExecutor(max_workers=max_parallel) as pool:
                 results = list(pool.map(run_one, prepared))
         wall = time.perf_counter() - started
+        return self._workload_report(results, wall, before, peak, max_parallel)
 
+    async def aexecute_many(
+        self,
+        queries: Sequence[Union[str, ConjunctiveQuery]],
+        strategy: StrategyLike = "fast_fail",
+        max_parallel: int = 4,
+        options: Optional[ExecuteOptions] = None,
+        **overrides: object,
+    ) -> List[Result]:
+        """:meth:`execute_many` on the caller's event loop.
+
+        The queries overlap as coroutines under an ``asyncio.Semaphore``
+        of ``max_parallel`` — all on one loop, all sharing the session's
+        meta-caches, so the never-repeat-an-access invariant holds across
+        the raced queries exactly as in the threaded path.
+        """
+        report = await self.arun_workload(
+            queries,
+            strategy=strategy,
+            max_parallel=max_parallel,
+            options=options,
+            **overrides,
+        )
+        return report.results
+
+    async def arun_workload(
+        self,
+        queries: Sequence[Union[str, ConjunctiveQuery]],
+        strategy: StrategyLike = "fast_fail",
+        max_parallel: int = 4,
+        options: Optional[ExecuteOptions] = None,
+        **overrides: object,
+    ) -> WorkloadReport:
+        """:meth:`run_workload` on the caller's event loop (see
+        :meth:`aexecute_many` for the concurrency model)."""
+        prepared = [self.plan(query) for query in queries]
+        semaphore = asyncio.Semaphore(max(1, max_parallel))
+        in_flight = 0
+        peak = 0
+
+        async def run_one(plan: PreparedPlan) -> Result:
+            nonlocal in_flight, peak
+            async with semaphore:
+                in_flight += 1
+                peak = max(peak, in_flight)
+                try:
+                    return await plan.aexecute(
+                        strategy=strategy, options=options, **overrides
+                    )
+                finally:
+                    in_flight -= 1
+
+        before = self._workload_before()
+        started = time.perf_counter()
+        results = list(await asyncio.gather(*(run_one(plan) for plan in prepared)))
+        wall = time.perf_counter() - started
+        return self._workload_report(results, wall, before, peak, max_parallel)
+
+    def _workload_before(self) -> Tuple[int, int, Dict[str, object]]:
+        return (
+            self.session.log.total_accesses,
+            self.session.meta_hits,
+            self.session.store.stats(),
+        )
+
+    def _workload_report(
+        self,
+        results: List[Result],
+        wall: float,
+        before: Tuple[int, int, Dict[str, object]],
+        peak: int,
+        max_parallel: int,
+    ) -> WorkloadReport:
+        accesses_before, hits_before, store_before = before
+        store = self.session.store
         accesses = self.session.log.total_accesses - accesses_before
         hits = self.session.meta_hits - hits_before
         served = accesses + hits

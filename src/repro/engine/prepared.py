@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, AsyncIterator, Iterator, Optional
 
 from repro.datalog.program import DatalogProgram
 from repro.engine.explain import Explanation, build_explanation
@@ -12,6 +13,7 @@ from repro.engine.result import Result
 from repro.engine.strategy import (
     ExecuteOptions,
     StrategyLike,
+    async_unsupported,
     real_concurrency_unsupported,
     resolve_strategy,
     streaming_unsupported,
@@ -101,6 +103,10 @@ class PreparedPlan:
         """
         resolved = resolve_strategy(strategy)
         opts = self._options(options, overrides)
+        if opts.concurrency == "async":
+            # Sync entry over the async runtime: run the whole execution on
+            # one private event loop (await aexecute() from async code).
+            return asyncio.run(self.aexecute(strategy=resolved, options=opts))
         store = self.engine.session.store
         use_result_cache = store.result_cache and self.plan.answerable
         try:
@@ -118,6 +124,42 @@ class PreparedPlan:
                 # Only complete answers are cacheable: a budget-cut or
                 # failure-degraded lower bound must never be served as the
                 # answer to a later, healthy run.
+                store.record_result(self.result_key(), result.answers)
+            return result
+        except ReproError as error:
+            raise error.with_context(query=self.query, plan=self.plan)
+
+    async def aexecute(
+        self,
+        strategy: StrategyLike = "fast_fail",
+        options: Optional[ExecuteOptions] = None,
+        **overrides: object,
+    ) -> Result:
+        """:meth:`execute` on the caller's event loop.
+
+        With ``concurrency="async"`` the strategy's accesses run as asyncio
+        tasks; any other concurrency mode is stepped inline by the kernel's
+        async driver, so every strategy/mode combination is awaitable.
+        Shares the result-cache tier with the sync path.
+        """
+        resolved = resolve_strategy(strategy)
+        opts = self._options(options, overrides)
+        store = self.engine.session.store
+        use_result_cache = store.result_cache and self.plan.answerable
+        try:
+            if not resolved.supports_async:
+                raise async_unsupported(resolved.name)
+            if opts.concurrency == "real" and not resolved.supports_real_concurrency:
+                raise real_concurrency_unsupported(resolved.name)
+            if use_result_cache:
+                started = time.perf_counter()
+                cached = store.lookup_result(self.result_key())
+                if cached is not None:
+                    return self._cached_result(
+                        resolved.name, cached, time.perf_counter() - started
+                    )
+            result = await resolved.arun(self, opts)
+            if use_result_cache and result.complete:
                 store.record_result(self.result_key(), result.answers)
             return result
         except ReproError as error:
@@ -150,6 +192,39 @@ class PreparedPlan:
     def _stream(self, resolved, opts: ExecuteOptions) -> Iterator[StreamedAnswer]:
         try:
             yield from resolved.stream(self, opts)
+        except ReproError as error:
+            raise error.with_context(query=self.query, plan=self.plan)
+
+    def astream(
+        self,
+        strategy: StrategyLike = "distillation",
+        options: Optional[ExecuteOptions] = None,
+        **overrides: object,
+    ) -> AsyncIterator[StreamedAnswer]:
+        """:meth:`stream` as an async generator on the caller's event loop.
+
+        Resolution errors are raised here, at the call site, not at first
+        ``anext``.
+        """
+        try:
+            resolved = resolve_strategy(strategy)
+            if not resolved.supports_streaming:
+                raise streaming_unsupported(resolved.name)
+            if not resolved.supports_async:
+                raise async_unsupported(resolved.name)
+            opts = self._options(options, overrides)
+            if opts.concurrency == "real" and not resolved.supports_real_concurrency:
+                raise real_concurrency_unsupported(resolved.name)
+        except ReproError as error:
+            raise error.with_context(query=self.query, plan=self.plan)
+        return self._astream(resolved, opts)
+
+    async def _astream(
+        self, resolved, opts: ExecuteOptions
+    ) -> AsyncIterator[StreamedAnswer]:
+        try:
+            async for answer in resolved.astream(self, opts):
+                yield answer
         except ReproError as error:
             raise error.with_context(query=self.query, plan=self.plan)
 

@@ -11,7 +11,7 @@ meta-caches, so a session never repeats an access across queries.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Iterator, List, Tuple
+from typing import TYPE_CHECKING, AsyncIterator, Iterator, List, Tuple
 
 from repro.engine.result import Result, SourceBreakdown, Termination
 from repro.engine.strategy import ExecuteOptions, ExecutionStrategy, register_strategy
@@ -86,6 +86,16 @@ def _optimizer_for(
     )
 
 
+def _sequential_mode(options: ExecuteOptions) -> str:
+    """Concurrency mode for the one-at-a-time strategies.
+
+    Their executors know ``"sequential"`` and ``"async"`` —
+    ``"simulated"``/``"real"`` are distillation clock choices and map to
+    the plain sequential dispatcher here.
+    """
+    return "async" if options.concurrency == "async" else "sequential"
+
+
 def _termination(raw: object, default: Termination) -> Termination:
     """Shape a raw result's failure flags into the shared termination.
 
@@ -109,18 +119,25 @@ class NaiveStrategy(ExecutionStrategy):
     """
 
     name = "naive"
+    supports_async = True
 
-    def run(self, prepared: "PreparedPlan", options: ExecuteOptions) -> Result:
+    def _evaluator(self, prepared, options, optimizer) -> NaiveEvaluator:
         engine = prepared.engine
-        log = AccessLog()
-        optimizer = _optimizer_for(prepared, options)
-        evaluator = NaiveEvaluator(
+        return NaiveEvaluator(
             engine.schema,
             engine.registry,
             max_accesses=options.max_accesses,
             resilience=options.resilience(),
             optimizer=optimizer,
+            concurrency=_sequential_mode(options),
+            max_in_flight=options.max_in_flight,
         )
+
+    def run(self, prepared: "PreparedPlan", options: ExecuteOptions) -> Result:
+        engine = prepared.engine
+        log = AccessLog()
+        optimizer = _optimizer_for(prepared, options)
+        evaluator = self._evaluator(prepared, options, optimizer)
         started = time.perf_counter()
         raw = None
         try:
@@ -134,6 +151,28 @@ class NaiveStrategy(ExecutionStrategy):
                 retry_stats=raw.retry_stats if raw is not None else None,
             )
         elapsed = time.perf_counter() - started
+        return self._shape(prepared, raw, log, elapsed, optimizer)
+
+    async def arun(self, prepared: "PreparedPlan", options: ExecuteOptions) -> Result:
+        engine = prepared.engine
+        log = AccessLog()
+        optimizer = _optimizer_for(prepared, options)
+        evaluator = self._evaluator(prepared, options, optimizer)
+        started = time.perf_counter()
+        raw = None
+        try:
+            raw = await evaluator.aevaluate(prepared.query, log=log)
+        finally:
+            engine.session.absorb(
+                log,
+                registry=engine.registry,
+                retry_stats=raw.retry_stats if raw is not None else None,
+            )
+        elapsed = time.perf_counter() - started
+        return self._shape(prepared, raw, log, elapsed, optimizer)
+
+    def _shape(self, prepared, raw, log, elapsed, optimizer) -> Result:
+        engine = prepared.engine
         per_source, simulated = _breakdown(log, engine.registry)
         report = optimizer.report(log) if optimizer is not None else None
         prepared.last_optimizer_report = report
@@ -158,22 +197,28 @@ class FastFailStrategy(ExecutionStrategy):
     """The fast-failing, ⊂-minimal execution of Section IV."""
 
     name = "fast_fail"
+    supports_async = True
 
-    def run(self, prepared: "PreparedPlan", options: ExecuteOptions) -> Result:
-        engine = prepared.engine
-        log = AccessLog()
-        optimizer = _optimizer_for(prepared, options)
-        executor = FastFailingExecutor(
+    def _executor(self, prepared, options, optimizer) -> FastFailingExecutor:
+        return FastFailingExecutor(
             prepared.plan,
-            engine.registry,
+            prepared.engine.registry,
             ExecutionOptions(
                 fast_fail=options.fast_fail,
                 use_meta_cache=options.use_meta_cache,
                 max_accesses=options.max_accesses,
                 resilience=options.resilience(),
                 optimizer=optimizer,
+                concurrency=_sequential_mode(options),
+                max_in_flight=options.max_in_flight,
             ),
         )
+
+    def run(self, prepared: "PreparedPlan", options: ExecuteOptions) -> Result:
+        engine = prepared.engine
+        log = AccessLog()
+        optimizer = _optimizer_for(prepared, options)
+        executor = self._executor(prepared, options, optimizer)
         raw = None
         try:
             raw = executor.execute(cache_db=_session_cache_db(prepared, options), log=log)
@@ -183,6 +228,28 @@ class FastFailStrategy(ExecutionStrategy):
                 registry=engine.registry,
                 retry_stats=raw.retry_stats if raw is not None else None,
             )
+        return self._shape(prepared, raw, log, optimizer)
+
+    async def arun(self, prepared: "PreparedPlan", options: ExecuteOptions) -> Result:
+        engine = prepared.engine
+        log = AccessLog()
+        optimizer = _optimizer_for(prepared, options)
+        executor = self._executor(prepared, options, optimizer)
+        raw = None
+        try:
+            raw = await executor.aexecute(
+                cache_db=_session_cache_db(prepared, options), log=log
+            )
+        finally:
+            engine.session.absorb(
+                log,
+                registry=engine.registry,
+                retry_stats=raw.retry_stats if raw is not None else None,
+            )
+        return self._shape(prepared, raw, log, optimizer)
+
+    def _shape(self, prepared, raw, log, optimizer) -> Result:
+        engine = prepared.engine
         per_source, simulated = _breakdown(log, engine.registry)
         report = optimizer.report(log) if optimizer is not None else None
         prepared.last_optimizer_report = report
@@ -213,6 +280,7 @@ class DistillationStrategy(ExecutionStrategy):
     name = "distillation"
     supports_streaming = True
     supports_real_concurrency = True
+    supports_async = True
 
     def _executor(
         self,
@@ -230,6 +298,7 @@ class DistillationStrategy(ExecutionStrategy):
             max_accesses=options.max_accesses,
             concurrency=options.concurrency,
             max_workers=options.max_workers,
+            max_in_flight=options.max_in_flight,
             resilience=options.resilience(),
             optimizer=optimizer,
         )
@@ -251,6 +320,31 @@ class DistillationStrategy(ExecutionStrategy):
                 default_latency=options.default_latency,
             )
         elapsed = time.perf_counter() - started
+        return self._shape(prepared, options, raw, log, elapsed, optimizer)
+
+    async def arun(self, prepared: "PreparedPlan", options: ExecuteOptions) -> Result:
+        engine = prepared.engine
+        log = AccessLog()
+        optimizer = _optimizer_for(prepared, options)
+        executor = self._executor(prepared, options, optimizer)
+        started = time.perf_counter()
+        raw = None
+        try:
+            raw = await executor.aexecute(
+                cache_db=_session_cache_db(prepared, options), log=log
+            )
+        finally:
+            engine.session.absorb(
+                log,
+                registry=engine.registry,
+                retry_stats=raw.retry_stats if raw is not None else None,
+                default_latency=options.default_latency,
+            )
+        elapsed = time.perf_counter() - started
+        return self._shape(prepared, options, raw, log, elapsed, optimizer)
+
+    def _shape(self, prepared, options, raw, log, elapsed, optimizer) -> Result:
+        engine = prepared.engine
         per_source, _ = _breakdown(log, engine.registry, options.default_latency)
         report = optimizer.report(log) if optimizer is not None else None
         prepared.last_optimizer_report = report
@@ -283,6 +377,29 @@ class DistillationStrategy(ExecutionStrategy):
             )
         finally:
             # Absorb whatever was accessed, even if the consumer stops early.
+            last = executor.last_result
+            engine.session.absorb(
+                log,
+                registry=engine.registry,
+                retry_stats=last.retry_stats if last is not None else None,
+                default_latency=options.default_latency,
+            )
+            if optimizer is not None:
+                prepared.last_optimizer_report = optimizer.report(log)
+
+    async def astream(
+        self, prepared: "PreparedPlan", options: ExecuteOptions
+    ) -> AsyncIterator[StreamedAnswer]:
+        engine = prepared.engine
+        log = AccessLog()
+        optimizer = _optimizer_for(prepared, options)
+        executor = self._executor(prepared, options, optimizer)
+        try:
+            async for answer in executor.astream(
+                cache_db=_session_cache_db(prepared, options), log=log
+            ):
+                yield answer
+        finally:
             last = executor.last_result
             engine.session.absorb(
                 log,

@@ -20,7 +20,17 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, ClassVar, Dict, Iterator, Optional, Tuple, Type, Union
+from typing import (
+    TYPE_CHECKING,
+    AsyncIterator,
+    ClassVar,
+    Dict,
+    Iterator,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+)
 
 from repro.exceptions import StrategyError
 from repro.plan.parallel import StreamedAnswer
@@ -56,10 +66,15 @@ class ExecuteOptions:
             eagerly (distillation strategy).
         concurrency: ``"simulated"`` runs the distillation strategy as the
             deterministic discrete-event simulation; ``"real"`` dispatches
-            accesses to the source backends over an actual thread pool, so
-            slow backends genuinely overlap.  Answers are identical between
-            the modes; only the clocks differ.
+            accesses to the source backends over an actual thread pool
+            (distillation only); ``"async"`` dispatches them as asyncio
+            tasks on one event loop — every strategy supports it, and the
+            engine's ``aexecute``/``aexecute_many`` entry points use it to
+            overlap whole queries.  Answers are identical between the
+            modes; only the clocks differ.
         max_workers: thread-pool size for ``concurrency="real"``.
+        max_in_flight: bound on simultaneously in-flight source accesses
+            for ``concurrency="async"``.
         retry: retry accesses that fail transiently, with exponential
             backoff priced through the run's clock (``None``: one attempt).
         timeout: per-access timeout in *wall-clock seconds of the actual
@@ -87,6 +102,7 @@ class ExecuteOptions:
     respect_ordering: bool = False
     concurrency: str = "simulated"
     max_workers: int = 8
+    max_in_flight: int = 64
     retry: Optional[RetryPolicy] = None
     timeout: Optional[float] = None
     breaker: Optional[BreakerConfig] = None
@@ -126,6 +142,15 @@ def real_concurrency_unsupported(name: str, *, plan: object = None) -> StrategyE
     )
 
 
+def async_unsupported(name: str, *, plan: object = None) -> StrategyError:
+    """The error raised when a strategy without an async path is awaited."""
+    return StrategyError(
+        f"strategy {name!r} has no async execution path; use one of the "
+        "built-in strategies (or any strategy with supports_async=True)",
+        plan=plan,
+    )
+
+
 class ExecutionStrategy(abc.ABC):
     """One way of executing a prepared plan.
 
@@ -141,6 +166,9 @@ class ExecutionStrategy(abc.ABC):
     name: ClassVar[str] = ""
     supports_streaming: ClassVar[bool] = False
     supports_real_concurrency: ClassVar[bool] = False
+    #: True when the strategy implements :meth:`arun` (and honors
+    #: ``ExecuteOptions.concurrency="async"``).
+    supports_async: ClassVar[bool] = False
 
     @abc.abstractmethod
     def run(self, prepared: "PreparedPlan", options: ExecuteOptions) -> "Result":
@@ -150,6 +178,17 @@ class ExecutionStrategy(abc.ABC):
         self, prepared: "PreparedPlan", options: ExecuteOptions
     ) -> Iterator[StreamedAnswer]:
         """Yield answers incrementally; only if ``supports_streaming``."""
+        raise streaming_unsupported(self.name, plan=prepared.plan)
+
+    async def arun(self, prepared: "PreparedPlan", options: ExecuteOptions) -> "Result":
+        """:meth:`run` on the caller's event loop; only if ``supports_async``."""
+        raise async_unsupported(self.name, plan=prepared.plan)
+
+    def astream(
+        self, prepared: "PreparedPlan", options: ExecuteOptions
+    ) -> AsyncIterator[StreamedAnswer]:
+        """:meth:`stream` as an async generator; only if both
+        ``supports_streaming`` and ``supports_async``."""
         raise streaming_unsupported(self.name, plan=prepared.plan)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

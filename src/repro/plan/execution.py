@@ -29,12 +29,13 @@ clock of a one-access-at-a-time execution — and shaping the outcome into
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Tuple
 
 from repro.plan.plan import QueryPlan
-from repro.runtime.kernel import FixpointKernel
+from repro.runtime.kernel import FixpointKernel, KernelOutcome
 from repro.runtime.policy import OrderedFastFail
 from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
@@ -57,6 +58,12 @@ class ExecutionOptions:
         optimizer: an :class:`~repro.optimizer.planner.AccessOptimizer`
             whose cost-based access order replaces the plan's structural
             positions (None: structural order).
+        concurrency: ``"sequential"`` (default) performs each phase's
+            accesses one at a time on the cumulative simulated clock;
+            ``"async"`` overlaps the accesses *within* a phase as asyncio
+            tasks (the phase order — and the fast-fail tests between
+            phases — are unchanged, so the access set is identical).
+        max_in_flight: in-flight task bound in async mode.
     """
 
     fast_fail: bool = True
@@ -64,6 +71,8 @@ class ExecutionOptions:
     max_accesses: Optional[int] = None
     resilience: Optional[ResilienceConfig] = None
     optimizer: Optional[object] = None
+    concurrency: str = "sequential"
+    max_in_flight: int = 64
 
 
 @dataclass
@@ -138,7 +147,33 @@ class FastFailingExecutor:
                 answered locally instead of hitting the source again.
             log: an injected access log; a fresh one is created by default.
         """
+        if self.options.concurrency == "async":
+            return asyncio.run(self.aexecute(cache_db=cache_db, log=log))
         started = time.perf_counter()
+        log, cache_db, policy, kernel = self._kernel(cache_db, log)
+        outcome = kernel.run()
+        return self._shape(outcome, policy, log, cache_db, started)
+
+    async def aexecute(
+        self,
+        cache_db: Optional[CacheDatabase] = None,
+        log: Optional[AccessLog] = None,
+    ) -> ExecutionResult:
+        """:meth:`execute` on the caller's event loop.
+
+        With ``concurrency="async"`` the accesses of each phase overlap as
+        asyncio tasks; with the default sequential options the kernel steps
+        the sync dispatcher inline — same answers either way.
+        """
+        started = time.perf_counter()
+        log, cache_db, policy, kernel = self._kernel(cache_db, log)
+        outcome = await kernel.arun()
+        return self._shape(outcome, policy, log, cache_db, started)
+
+    # ------------------------------------------------------------------------------
+    def _kernel(
+        self, cache_db: Optional[CacheDatabase], log: Optional[AccessLog]
+    ) -> Tuple[AccessLog, CacheDatabase, OrderedFastFail, FixpointKernel]:
         if log is None:
             log = AccessLog()
         if cache_db is None:
@@ -149,6 +184,8 @@ class FastFailingExecutor:
             fast_fail=self.options.fast_fail,
             use_meta_cache=self.options.use_meta_cache,
             optimizer=self.options.optimizer,
+            concurrency=self.options.concurrency,
+            max_in_flight=self.options.max_in_flight,
         )
         kernel = FixpointKernel(
             policy,
@@ -157,15 +194,23 @@ class FastFailingExecutor:
             max_accesses=self.options.max_accesses,
             resilience=self.options.resilience,
         )
-        outcome = kernel.run()
-        elapsed = time.perf_counter() - started
+        return log, cache_db, policy, kernel
+
+    def _shape(
+        self,
+        outcome: KernelOutcome,
+        policy: OrderedFastFail,
+        log: AccessLog,
+        cache_db: CacheDatabase,
+        started: float,
+    ) -> ExecutionResult:
         return ExecutionResult(
             answers=outcome.answers,
             access_log=log,
             cache_db=cache_db,
             failed_fast=policy.failed_at is not None,
             failed_at_position=policy.failed_at,
-            elapsed_seconds=elapsed,
+            elapsed_seconds=time.perf_counter() - started,
             plan=self.plan,
             failed_relations=outcome.failed_relations,
             retry_stats=outcome.retry_stats,

@@ -26,6 +26,7 @@ offers — to a sequential dispatcher, and shaping the kernel's outcome into
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
@@ -89,6 +90,8 @@ class NaiveEvaluator:
         max_accesses: Optional[int] = None,
         resilience: Optional[ResilienceConfig] = None,
         optimizer: Optional[object] = None,
+        concurrency: str = "sequential",
+        max_in_flight: int = 64,
     ) -> None:
         """Create a naive evaluator.
 
@@ -104,12 +107,19 @@ class NaiveEvaluator:
                 whose per-relation cost ranking orders the extraction sweeps
                 (cheap/high-yield relations first); the access *set* is
                 unchanged — the fixpoint is order-independent.
+            concurrency: ``"sequential"`` (default) accesses one source at a
+                time; ``"async"`` overlaps each sweep's accesses as asyncio
+                tasks.  The naive fixpoint enumerates every pool combination
+                either way, so the access set is identical.
+            max_in_flight: in-flight task bound in async mode.
         """
         self.schema = schema
         self.registry = registry
         self.max_accesses = max_accesses
         self.resilience = resilience
         self.optimizer = optimizer
+        self.concurrency = concurrency
+        self.max_in_flight = max_in_flight
 
     # ------------------------------------------------------------------------------
     def evaluate(
@@ -123,10 +133,35 @@ class NaiveEvaluator:
             query: the conjunctive query to answer.
             log: an injected access log; a fresh one is created by default.
         """
+        if self.concurrency == "async":
+            return asyncio.run(self.aevaluate(query, log=log))
+        log, policy, kernel = self._kernel(query, log)
+        outcome = kernel.run()
+        return self._shape(outcome, policy, log)
+
+    async def aevaluate(
+        self,
+        query: ConjunctiveQuery,
+        log: Optional[AccessLog] = None,
+    ) -> NaiveEvaluationResult:
+        """:meth:`evaluate` on the caller's event loop (async dispatch when
+        ``concurrency="async"``, inline sequential stepping otherwise)."""
+        log, policy, kernel = self._kernel(query, log)
+        outcome = await kernel.arun()
+        return self._shape(outcome, policy, log)
+
+    # ------------------------------------------------------------------------------
+    def _kernel(self, query: ConjunctiveQuery, log: Optional[AccessLog]):
         query.validate_against(self.schema)
         if log is None:
             log = AccessLog()
-        policy = EagerAllRelations(self.schema, query, optimizer=self.optimizer)
+        policy = EagerAllRelations(
+            self.schema,
+            query,
+            optimizer=self.optimizer,
+            concurrency=self.concurrency,
+            max_in_flight=self.max_in_flight,
+        )
         kernel = FixpointKernel(
             policy,
             self.registry,
@@ -134,7 +169,9 @@ class NaiveEvaluator:
             max_accesses=self.max_accesses,
             resilience=self.resilience,
         )
-        outcome = kernel.run()
+        return log, policy, kernel
+
+    def _shape(self, outcome, policy: EagerAllRelations, log: AccessLog):
         return NaiveEvaluationResult(
             answers=outcome.answers,
             access_log=log,

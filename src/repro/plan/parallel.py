@@ -19,8 +19,12 @@ The fixpoint/dispatch loop lives in the shared runtime kernel
   enforced to be monotone (answers can never be timestamped before the
   accesses that derived them);
 * ``concurrency="real"`` dispatches the accesses to the source backends
-  over an actual thread pool, so slow backends genuinely overlap.  Both
-  modes compute the same answers; only the clocks differ.
+  over an actual thread pool, so slow backends genuinely overlap;
+* ``concurrency="async"`` dispatches them as asyncio tasks on one event
+  loop, with a bounded in-flight window — the mode that scales to
+  hundreds of concurrent slow lookups (e.g. the HTTP backend).
+
+All modes compute the same answers; only the clocks differ.
 
 The run reports the total execution time and the time at which the first
 answer became available — the quantity the paper highlights when arguing
@@ -34,13 +38,14 @@ paper.
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, Optional, Tuple
+from typing import AsyncIterator, Dict, FrozenSet, Iterator, Optional, Tuple
 
 from repro.exceptions import ExecutionError
 from repro.runtime.kernel import AnswerTracker, StreamedAnswer  # noqa: F401  (re-export)
-from repro.runtime.kernel import FixpointKernel
-from repro.runtime.policy import RealThreadPool, SimulatedParallel
+from repro.runtime.kernel import FixpointKernel, KernelOutcome
+from repro.runtime.policy import AsyncParallel, RealThreadPool, SimulatedParallel
 from repro.plan.plan import QueryPlan
 from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
@@ -74,6 +79,8 @@ class DistillationResult:
         retry_stats: the run's resilience accounting.
         replans: adaptive re-planning events performed mid-run (0 without
             a cost-based optimizer).
+        peak_in_flight: highest number of simultaneously in-flight source
+            accesses observed (0 for dispatchers that do not track it).
     """
 
     answers: FrozenSet[Row]
@@ -86,6 +93,7 @@ class DistillationResult:
     failed_relations: Tuple[str, ...] = ()
     retry_stats: RetryStats = field(default_factory=RetryStats)
     replans: int = 0
+    peak_in_flight: int = 0
 
     @property
     def total_accesses(self) -> int:
@@ -118,6 +126,7 @@ class DistillationExecutor:
         max_accesses: Optional[int] = None,
         concurrency: str = "simulated",
         max_workers: int = 8,
+        max_in_flight: int = 64,
         resilience: Optional[ResilienceConfig] = None,
         optimizer: Optional[object] = None,
     ) -> None:
@@ -147,9 +156,13 @@ class DistillationExecutor:
                 discrete-event simulation; ``"real"`` dispatches the
                 accesses to the source backends over an actual thread pool
                 (:class:`~repro.runtime.dispatch.ThreadPoolDispatcher`), so
-                slow backends genuinely overlap.  Both modes compute the
-                same answers; only the clocks differ.
+                slow backends genuinely overlap; ``"async"`` dispatches
+                them as asyncio tasks on one event loop
+                (:class:`~repro.runtime.dispatch.AsyncDispatcher`).  All
+                modes compute the same answers; only the clocks differ.
             max_workers: thread-pool size in real mode (ignored otherwise).
+            max_in_flight: in-flight task bound in async mode (ignored
+                otherwise).
             resilience: retry/timeout/breaker configuration for source
                 reads; faults resolve to failure-flagged partial results
                 either way.
@@ -158,9 +171,10 @@ class DistillationExecutor:
                 ``respect_ordering``, the dispatch phases); None keeps the
                 structural order.
         """
-        if concurrency not in ("simulated", "real"):
+        if concurrency not in ("simulated", "real", "async"):
             raise ExecutionError(
-                f"unknown concurrency mode {concurrency!r}; use 'simulated' or 'real'"
+                f"unknown concurrency mode {concurrency!r}; "
+                "use 'simulated', 'real' or 'async'"
             )
         self.plan = plan
         self.registry = registry
@@ -171,6 +185,7 @@ class DistillationExecutor:
         self.max_accesses = max_accesses
         self.concurrency = concurrency
         self.max_workers = max_workers
+        self.max_in_flight = max_in_flight
         self.resilience = resilience
         self.optimizer = optimizer
         #: Aggregate result of the most recent run (set when a run completes).
@@ -210,6 +225,48 @@ class DistillationExecutor:
                 of being dispatched to a wrapper.
             log: an injected access log; a fresh one is created by default.
         """
+        if self.concurrency == "async":
+            # Sync entry over the async runtime: drive the async generator
+            # on a private event loop, yielding each answer as it derives.
+            result = yield from self._bridge_stream(cache_db, log)
+            return result
+        log, kernel = self._kernel(cache_db, log)
+        outcome = yield from kernel.stream()
+        return self._finish(outcome, log)
+
+    async def astream(
+        self,
+        cache_db: Optional[CacheDatabase] = None,
+        log: Optional[AccessLog] = None,
+    ) -> AsyncIterator[StreamedAnswer]:
+        """:meth:`stream` as an async generator, on the caller's event loop.
+
+        Works for every concurrency mode (sync dispatchers are stepped
+        inline by the kernel's async driver).  Async generators cannot
+        return a value, so the aggregate result is left in
+        ``self.last_result`` — or use :meth:`aexecute`.
+        """
+        log, kernel = self._kernel(cache_db, log)
+        async for answer in kernel.astream():
+            yield answer
+        assert kernel.last_outcome is not None
+        self._finish(kernel.last_outcome, log)
+
+    async def aexecute(
+        self,
+        cache_db: Optional[CacheDatabase] = None,
+        log: Optional[AccessLog] = None,
+    ) -> DistillationResult:
+        """Run to completion on the caller's event loop."""
+        async for _ in self.astream(cache_db=cache_db, log=log):
+            pass
+        assert self.last_result is not None
+        return self.last_result
+
+    # ------------------------------------------------------------------------------
+    def _kernel(
+        self, cache_db: Optional[CacheDatabase], log: Optional[AccessLog]
+    ) -> Tuple[AccessLog, FixpointKernel]:
         if log is None:
             log = AccessLog()
         if cache_db is None:
@@ -221,6 +278,15 @@ class DistillationExecutor:
                 queue_capacity=self.queue_capacity,
                 respect_ordering=self.respect_ordering,
                 max_workers=self.max_workers,
+                optimizer=self.optimizer,
+            )
+        elif self.concurrency == "async":
+            policy = AsyncParallel(
+                self.plan,
+                cache_db,
+                queue_capacity=self.queue_capacity,
+                respect_ordering=self.respect_ordering,
+                max_in_flight=self.max_in_flight,
                 optimizer=self.optimizer,
             )
         else:
@@ -240,7 +306,9 @@ class DistillationExecutor:
             answer_check_interval=self.answer_check_interval,
             resilience=self.resilience,
         )
-        outcome = yield from kernel.stream()
+        return log, kernel
+
+    def _finish(self, outcome: KernelOutcome, log: AccessLog) -> DistillationResult:
         result = DistillationResult(
             answers=outcome.answers,
             access_log=log,
@@ -252,6 +320,35 @@ class DistillationExecutor:
             failed_relations=outcome.failed_relations,
             retry_stats=outcome.retry_stats,
             replans=outcome.replans,
+            peak_in_flight=outcome.peak_in_flight,
         )
         self.last_result = result
         return result
+
+    def _bridge_stream(
+        self, cache_db: Optional[CacheDatabase], log: Optional[AccessLog]
+    ) -> Iterator[StreamedAnswer]:
+        """Drive :meth:`astream` from sync code on a fresh private loop."""
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass
+        else:
+            raise ExecutionError(
+                "stream()/execute() cannot run inside a running event loop "
+                "with concurrency='async'; await astream()/aexecute() instead"
+            )
+        loop = asyncio.new_event_loop()
+        try:
+            agen = self.astream(cache_db=cache_db, log=log)
+            while True:
+                try:
+                    answer = loop.run_until_complete(agen.__anext__())
+                except StopAsyncIteration:
+                    break
+                yield answer
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            loop.close()
+        assert self.last_result is not None
+        return self.last_result

@@ -14,7 +14,11 @@ is authoritative for:
   heap of ``(finish_time, relation)`` completion events;
 * :class:`ThreadPoolDispatcher` — the production counterpart: accesses
   really run, batched per source on a thread pool, stamped with the wall
-  clock relative to the start of the run.
+  clock relative to the start of the run;
+* :class:`AsyncDispatcher` — the asyncio-native counterpart: every access
+  is an awaited task on one event loop (bounded by ``max_in_flight``),
+  also on the wall clock; HTTP sources are awaited natively, sync
+  backends are adapted onto an executor.
 
 Before touching a source, every dispatcher offers the access to the
 policy's *gate* — the per-relation session meta-cache.  A recorded binding
@@ -39,6 +43,7 @@ dispatcher's authoritative clock: the simulated dispatchers charge
 from __future__ import annotations
 
 import abc
+import asyncio
 import heapq
 import time
 from collections import deque
@@ -57,8 +62,10 @@ from typing import (
     Tuple,
 )
 
+from repro.exceptions import ExecutionError
 from repro.runtime.kernel import AccessBudget, AccessRequest, Completion
 from repro.sources.resilience import ResilienceContext
+from repro.sources.store import ClaimStatus
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.policy import SchedulingPolicy
@@ -643,3 +650,227 @@ class ThreadPoolDispatcher(Dispatcher):
             read_seconds += outcome.read_seconds
             outcomes.append((request, outcome))
         return outcomes, read_seconds
+
+
+class AsyncDispatcher(Dispatcher):
+    """Event-loop dispatch: every access is an awaited task on one loop.
+
+    The asyncio-native counterpart of :class:`ThreadPoolDispatcher`, for
+    sources reached over real I/O (the HTTP backend awaits its socket
+    natively; sync backends are adapted onto an executor).  Where the
+    thread pool keeps one *batch per relation* in flight, the event loop
+    keeps up to ``max_in_flight`` individual accesses in flight across all
+    relations — thousands of concurrent remote lookups cost coroutines,
+    not threads.
+
+    The division of labour mirrors the thread pool exactly: **tasks** only
+    claim bindings on the session gate (non-blockingly — a coroutine must
+    never block the loop its fulfiller runs on) and perform pure backend
+    reads through :meth:`~repro.sources.resilience.ResilienceContext.
+    aperform`; the **coordinator** (the kernel's async driver) counts and
+    logs performed accesses on the wall clock and refunds the budget for
+    gate-served or failed ones.  The budget is charged one grant per task
+    at launch, so ``total_granted - refunded`` equals recorded accesses,
+    same as every other dispatcher.
+
+    Only the async kernel driver (:meth:`~repro.runtime.kernel.
+    FixpointKernel.astream`) can run this dispatcher; the sync ``step()``
+    raises.  ``claim_poll`` is how long a coroutine sleeps between
+    non-blocking claim rounds while another claimant is in flight.
+    """
+
+    wall_clock: ClassVar[bool] = True
+
+    def __init__(
+        self,
+        registry: "SourceRegistry",
+        log: "AccessLog",
+        budget: AccessBudget,
+        max_in_flight: int = 64,
+        claim_poll: float = 0.002,
+    ) -> None:
+        super().__init__(registry, log, budget)
+        self.max_in_flight = max(1, max_in_flight)
+        self.claim_poll = claim_poll
+        self._backlog: Deque[AccessRequest] = deque()
+        self._backlog_load: Dict[str, int] = {}
+        self._tasks: Set["asyncio.Task"] = set()
+        self._task_request: Dict["asyncio.Task", AccessRequest] = {}
+        self._inflight_load: Dict[str, int] = {}
+        #: Executor for backends without a native async read (lazily built;
+        #: threads are only spawned if a sync backend is actually adapted).
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._started = time.perf_counter()
+        #: High-water mark of concurrently in-flight access tasks.
+        self.peak_in_flight = 0
+
+    # ------------------------------------------------------------------------------
+    def submit(self, request: AccessRequest) -> None:
+        self._backlog.append(request)
+        self._backlog_load[request.relation] = (
+            self._backlog_load.get(request.relation, 0) + 1
+        )
+
+    def now(self) -> float:
+        return time.perf_counter() - self._started
+
+    def refill(self, now: float) -> None:
+        """Launch backlog as tasks up to ``max_in_flight``, within the budget."""
+        if not self._backlog or len(self._tasks) >= self.max_in_flight:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            raise ExecutionError(
+                "the async dispatcher must run on an event loop; use the "
+                "async execution APIs (aexecute/astream) or a sync "
+                "concurrency mode"
+            ) from None
+        while self._backlog and len(self._tasks) < self.max_in_flight:
+            if self.budget.grant(1) < 1:
+                break
+            request = self._backlog.popleft()
+            self._backlog_load[request.relation] -= 1
+            wrapper = self.registry.wrapper(request.relation)
+            task = loop.create_task(self._perform_one(request, wrapper))
+            self._tasks.add(task)
+            self._task_request[task] = request
+            self._inflight_load[request.relation] = (
+                self._inflight_load.get(request.relation, 0) + 1
+            )
+        self.peak_in_flight = max(self.peak_in_flight, len(self._tasks))
+
+    def has_work(self) -> bool:
+        return bool(self._tasks) or bool(self._backlog)
+
+    def relation_active(self, relation: str) -> bool:
+        return bool(
+            self._backlog_load.get(relation, 0) or self._inflight_load.get(relation, 0)
+        )
+
+    def step(self) -> Optional[List[Completion]]:
+        raise ExecutionError(
+            "the async dispatcher has no synchronous step(); drive the kernel "
+            "with astream()/arun()"
+        )
+
+    async def astep(self) -> Optional[List[Completion]]:
+        """Await at least one task; count, log and refund at the coordinator.
+
+        Mirrors :meth:`ThreadPoolDispatcher.step`: called right after a
+        refill, an empty task set with a non-empty backlog can only mean
+        the budget refused to fund the remaining work.
+        """
+        if not self._tasks:
+            return None if self._backlog else []
+        done, _ = await asyncio.wait(self._tasks, return_when=asyncio.FIRST_COMPLETED)
+        now = time.perf_counter() - self._started
+        completions: List[Completion] = []
+        for task in done:
+            self._tasks.discard(task)
+            request = self._task_request.pop(task)
+            self._inflight_load[request.relation] -= 1
+            outcome = task.result()  # programming errors propagate
+            self.sequential_time += outcome.read_seconds
+            if outcome.counted:
+                self.registry.wrapper(request.relation).record_access(
+                    request.binding, outcome.rows, self.log, simulated_time=now
+                )
+            else:
+                # Served by the gate — or permanently failed — without a
+                # recorded access: give the launch-time reservation back.
+                self.budget.refund(1)
+                if outcome.failed:
+                    self.resilience.note_refund()
+            completions.append(
+                Completion(
+                    request, outcome.rows, now, counted=outcome.counted, failed=outcome.failed
+                )
+            )
+        return completions
+
+    def total_time(self) -> float:
+        return time.perf_counter() - self._started
+
+    async def aclose(self) -> None:
+        """Cancel in-flight tasks and await them out; refund their grants."""
+        tasks = list(self._tasks)
+        self._tasks.clear()
+        self._task_request.clear()
+        self._inflight_load.clear()
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+            # Every launched task holds one budget grant until the
+            # coordinator consumes its outcome; these never will be.
+            self.budget.refund(len(tasks))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------------------
+    def _sync_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(32, self.max_in_flight)
+            )
+        return self._executor
+
+    async def _perform_one(self, request: AccessRequest, wrapper: "SourceWrapper"):
+        """Task body: the claim protocol of :meth:`Dispatcher._acquire_rows`,
+        with non-blocking claims and an awaited resilient read.
+
+        A claim conflict cannot be waited out on the meta-cache's condition
+        variable — the fulfilling coroutine may be on this very loop — so
+        the task polls :meth:`~repro.sources.cache.MetaCache.try_claim`
+        with short sleeps.  Cancellation (``aclose`` mid-run) abandons an
+        owned claim like any other failure path, so no waiter is ever
+        stranded.
+        """
+        assert self.gate is not None, "dispatcher used before bind_dispatcher"
+        meta = self.gate.meta_for(request.relation)
+        owns_claim = False
+        if meta is not None and self.gate.dedup_accesses:
+            while True:
+                status, served = meta.try_claim(request.binding)
+                if status is ClaimStatus.SERVED:
+                    return AccessOutcome(served, counted=False, read_seconds=0.0)
+                if status is ClaimStatus.OWNED:
+                    owns_claim = True
+                    break
+                await asyncio.sleep(self.claim_poll)
+        try:
+            performed = await self.resilience.aperform(
+                request.relation,
+                request.binding,
+                lambda: wrapper.alookup(request.binding, executor=self._sync_executor()),
+            )
+        except BaseException:
+            # Cancellation and programming errors both land here — never
+            # leave with the claim held.
+            if owns_claim:
+                meta.abandon(request.binding)
+            raise
+        if performed.failed:
+            if owns_claim:
+                meta.abandon(request.binding)
+            return AccessOutcome(
+                frozenset(),
+                counted=False,
+                read_seconds=0.0,
+                failed=True,
+                attempts=performed.attempts,
+                backoff=performed.backoff,
+            )
+        if meta is not None:
+            meta.record(request.binding, performed.rows)
+        return AccessOutcome(
+            performed.rows,
+            counted=True,
+            read_seconds=performed.read_seconds,
+            attempts=performed.attempts,
+            backoff=performed.backoff,
+        )

@@ -213,6 +213,8 @@ class KernelOutcome:
             store, another process — had already performed them) instead of
             a source read.  Offer-pass hits are counted separately, by the
             meta-caches.
+        peak_in_flight: high-water mark of concurrently in-flight accesses
+            (0 for dispatchers that do not track it).
     """
 
     answers: FrozenSet[Row]
@@ -225,6 +227,7 @@ class KernelOutcome:
     retry_stats: RetryStats = field(default_factory=RetryStats)
     replans: int = 0
     gate_served: int = 0
+    peak_in_flight: int = 0
 
     @property
     def source_failure(self) -> bool:
@@ -283,6 +286,9 @@ class FixpointKernel:
         self.tracker = AnswerTracker(policy.evaluate)
         #: The kernel's monotone clock: the latest completion absorbed.
         self.clock = 0.0
+        #: The outcome of the most recent run (async generators cannot
+        #: return a value, so :meth:`astream` parks it here).
+        self.last_outcome: Optional[KernelOutcome] = None
 
     # ------------------------------------------------------------------------------
     def run(self) -> KernelOutcome:
@@ -298,16 +304,79 @@ class FixpointKernel:
         """Run the fixpoint loop, yielding answers as they become derivable.
 
         Returns (as the generator's ``StopIteration`` value) the
-        :class:`KernelOutcome` of the run.
+        :class:`KernelOutcome` of the run.  This is the *sync driver* over
+        :meth:`_machine`: dispatcher steps block the calling thread.
         """
+        machine = self._machine()
+        reply: Optional[List[Completion]] = None
         try:
-            outcome = yield from self._loop()
+            while True:
+                try:
+                    kind, payload = machine.send(reply)
+                except StopIteration as stop:
+                    outcome = stop.value
+                    break
+                if kind == "step":
+                    reply = self.dispatcher.step()
+                else:
+                    yield payload
+                    reply = None
         finally:
             self.dispatcher.close()
+        self.last_outcome = outcome
         return outcome
 
+    async def arun(self) -> KernelOutcome:
+        """Async :meth:`run`: drain :meth:`astream`, return the outcome."""
+        async for _ in self.astream():
+            pass
+        assert self.last_outcome is not None
+        return self.last_outcome
+
+    async def astream(self):
+        """The *async driver* over :meth:`_machine`.
+
+        Identical fixpoint logic to :meth:`stream` — both drivers send
+        step results into the same generator, so the two execution modes
+        cannot diverge semantically.  A dispatcher exposing ``astep`` is
+        awaited (the async dispatcher's tasks run between awaits); any
+        other dispatcher is stepped synchronously, so every concurrency
+        mode is reachable from the async engine API.  The outcome lands in
+        :attr:`last_outcome` (async generators cannot return values).
+        """
+        machine = self._machine()
+        reply: Optional[List[Completion]] = None
+        astep = getattr(self.dispatcher, "astep", None)
+        try:
+            while True:
+                try:
+                    kind, payload = machine.send(reply)
+                except StopIteration as stop:
+                    self.last_outcome = stop.value
+                    break
+                if kind == "step":
+                    reply = await astep() if astep is not None else self.dispatcher.step()
+                else:
+                    yield payload
+                    reply = None
+        finally:
+            aclose = getattr(self.dispatcher, "aclose", None)
+            if aclose is not None:
+                await aclose()
+            self.dispatcher.close()
+
     # ------------------------------------------------------------------------------
-    def _loop(self) -> Iterator[StreamedAnswer]:
+    def _machine(self):
+        """The driver-agnostic fixpoint state machine.
+
+        A plain generator that yields ``("step", None)`` when it needs the
+        driver to advance the dispatcher (the driver must ``send`` the
+        step's completion batch back in) and ``("answer", streamed)`` for
+        each incremental answer; the :class:`KernelOutcome` is the
+        generator's return value.  Keeping offer/absorb/budget/phase logic
+        in one generator is what guarantees the sync and async drivers
+        execute byte-identical fixpoint semantics.
+        """
         completed_since_check = 0
         budget_exhausted = False
         gate_served = 0
@@ -319,7 +388,7 @@ class FixpointKernel:
                 self.dispatcher.refill(self.clock)
                 if not self.dispatcher.has_work():
                     break
-                batch = self.dispatcher.step()
+                batch = yield ("step", None)
                 if batch is None:
                     # The dispatcher has work it may not perform: the access
                     # budget ran dry.  Sequential strategies raise; the
@@ -345,13 +414,13 @@ class FixpointKernel:
                 ):
                     completed_since_check = 0
                     for streamed in self.tracker.check(self.clock):
-                        yield streamed
+                        yield ("answer", streamed)
             if not budget_exhausted:
                 more_phases = self.policy.advance()
 
         total_time = self.dispatcher.total_time()
         for streamed in self.tracker.check(total_time):
-            yield streamed
+            yield ("answer", streamed)
         return KernelOutcome(
             answers=frozenset(self.tracker.answers),
             answer_times=self.tracker.answer_times,
@@ -363,6 +432,7 @@ class FixpointKernel:
             retry_stats=self.resilience.stats,
             replans=getattr(self.policy, "optimizer_replans", 0),
             gate_served=gate_served,
+            peak_in_flight=getattr(self.dispatcher, "peak_in_flight", 0),
         )
 
     def _offer_fixpoint(self) -> None:

@@ -11,9 +11,10 @@ policies over the same kernel:
 * :class:`OrderedFastFail` — Section IV: one phase per ordering position
   of the ⊂-minimal plan, with the early non-emptiness test between phases
   and meta-cache dedup of repeated accesses;
-* :class:`SimulatedParallel` / :class:`RealThreadPool` — Section V: every
-  cache of the plan is offered eagerly, and the policy picks the
-  discrete-event simulation or the real thread pool as its dispatcher.
+* :class:`SimulatedParallel` / :class:`RealThreadPool` /
+  :class:`AsyncParallel` — Section V: every cache of the plan is offered
+  eagerly, and the policy picks the discrete-event simulation, the real
+  thread pool, or the asyncio event loop as its dispatcher.
 
 The plan-driven policies share the delta-driven binding generators of
 :mod:`repro.plan.bindings`: each offer pass enumerates only the bindings
@@ -29,6 +30,7 @@ from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Set
 
 from repro.plan.bindings import CacheBindingGenerator, DeltaProduct, initialize_plan_caches
 from repro.runtime.dispatch import (
+    AsyncDispatcher,
     Dispatcher,
     SequentialDispatcher,
     SimulatedParallelDispatcher,
@@ -153,11 +155,15 @@ class EagerAllRelations(SchedulingPolicy):
         query: "ConjunctiveQuery",
         default_latency: float = 0.0,
         optimizer: Optional["AccessOptimizer"] = None,
+        concurrency: str = "sequential",
+        max_in_flight: int = 64,
     ) -> None:
         self.schema = schema
         self.query = query
         self.default_latency = default_latency
         self.optimizer = optimizer
+        self.concurrency = concurrency
+        self.max_in_flight = max_in_flight
         # An unordered policy cannot reorder phases, but it can dispatch
         # cheap, productive sources first: a fixed cost-ranked relation
         # iteration order.  The access *set* is order-independent (the
@@ -190,6 +196,10 @@ class EagerAllRelations(SchedulingPolicy):
     def make_dispatcher(
         self, registry: "SourceRegistry", log: "AccessLog", budget: AccessBudget
     ) -> Dispatcher:
+        if self.concurrency == "async":
+            return AsyncDispatcher(
+                registry, log, budget, max_in_flight=self.max_in_flight
+            )
         return SequentialDispatcher(registry, log, budget, self.default_latency)
 
     def offer(self, emit: Emit) -> bool:
@@ -365,10 +375,14 @@ class OrderedFastFail(PlanPolicy):
         fast_fail: bool = True,
         use_meta_cache: bool = True,
         optimizer: Optional["AccessOptimizer"] = None,
+        concurrency: str = "sequential",
+        max_in_flight: int = 64,
     ) -> None:
         super().__init__(plan, cache_db, optimizer=optimizer)
         self.fast_fail = fast_fail
         self.use_meta_cache = use_meta_cache
+        self.concurrency = concurrency
+        self.max_in_flight = max_in_flight
         self.dedup_accesses = use_meta_cache
         self._groups = self._order_groups()
         # Reported positions: the plan's structural position values by
@@ -392,6 +406,10 @@ class OrderedFastFail(PlanPolicy):
     def make_dispatcher(
         self, registry: "SourceRegistry", log: "AccessLog", budget: AccessBudget
     ) -> Dispatcher:
+        if self.concurrency == "async":
+            return AsyncDispatcher(
+                registry, log, budget, max_in_flight=self.max_in_flight
+            )
         return SequentialDispatcher(registry, log, budget)
 
     def begin(self) -> bool:
@@ -570,4 +588,39 @@ class RealThreadPool(SimulatedParallel):
             self._plan_relations(),
             max_workers=self.max_workers,
             batch_size=self.queue_capacity,
+        )
+
+
+class AsyncParallel(SimulatedParallel):
+    """Section V on the event loop: the same eager offers, dispatched as
+    asyncio tasks with a bounded in-flight window.
+
+    The access *set* is the plan's least fixpoint either way; what changes
+    is wall clock — thousands of slow lookups overlap on one loop instead
+    of queueing behind a thread pool.  Must be driven through the kernel's
+    async entry points (``astream``/``arun``)."""
+
+    def __init__(
+        self,
+        plan: "QueryPlan",
+        cache_db: "CacheDatabase",
+        queue_capacity: int = 64,
+        respect_ordering: bool = False,
+        max_in_flight: int = 64,
+        optimizer: Optional["AccessOptimizer"] = None,
+    ) -> None:
+        super().__init__(
+            plan,
+            cache_db,
+            queue_capacity=queue_capacity,
+            respect_ordering=respect_ordering,
+            optimizer=optimizer,
+        )
+        self.max_in_flight = max_in_flight
+
+    def make_dispatcher(
+        self, registry: "SourceRegistry", log: "AccessLog", budget: AccessBudget
+    ) -> Dispatcher:
+        return AsyncDispatcher(
+            registry, log, budget, max_in_flight=self.max_in_flight
         )

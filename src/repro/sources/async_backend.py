@@ -1,0 +1,72 @@
+"""The async face of the source layer.
+
+The paper's sources are remote, access-limited interfaces; reaching
+thousands of them concurrently is an event-loop job, not a thread-pool
+job.  :class:`AsyncBackend` is the protocol the asyncio-native dispatcher
+speaks: any backend exposing a coroutine ``alookup(binding) -> rows``
+(and optionally a batched ``alookup_many``) is awaited natively on the
+loop — :class:`~repro.sources.http.HTTPBackend` is the shipping example.
+
+Every existing *sync* backend (memory / sqlite / callable / flaky) keeps
+working unchanged: :func:`as_async_backend` wraps it in an
+:class:`AsyncBackendAdapter` that runs the blocking ``lookup`` on an
+executor, so the event loop never blocks on a slow read.  The adapter is
+a pure transport — same rows, same call counts — which is what keeps the
+async dispatcher inside the cross-dispatcher equivalence contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from typing import FrozenSet, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.sources.backend import SourceBackend
+
+Row = Tuple[object, ...]
+Binding = Tuple[object, ...]
+
+
+@runtime_checkable
+class AsyncBackend(Protocol):
+    """A backend whose reads are coroutines (awaited on the event loop)."""
+
+    async def alookup(self, binding: Binding) -> FrozenSet[Row]:
+        """Rows whose input arguments equal ``binding``."""
+        ...  # pragma: no cover - protocol
+
+    async def alookup_many(self, bindings: Sequence[Binding]) -> List[FrozenSet[Row]]:
+        """Answer a batch of bindings; one result per binding, in order."""
+        ...  # pragma: no cover - protocol
+
+
+class AsyncBackendAdapter:
+    """Make any sync :class:`SourceBackend` awaitable.
+
+    The blocking ``lookup`` runs on ``executor`` (or the loop's default
+    executor when None) via ``run_in_executor``, so a slow sync read —
+    sqlite, a latency-injecting callable, an injected fault's sleep —
+    parks a pool thread, not the event loop.
+    """
+
+    def __init__(self, backend: SourceBackend, executor: Optional[Executor] = None) -> None:
+        self.backend = backend
+        self.executor = executor
+
+    async def alookup(self, binding: Binding) -> FrozenSet[Row]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self.executor, self.backend.lookup, tuple(binding))
+
+    async def alookup_many(self, bindings: Sequence[Binding]) -> List[FrozenSet[Row]]:
+        loop = asyncio.get_running_loop()
+        batch = [tuple(binding) for binding in bindings]
+        return await loop.run_in_executor(self.executor, self.backend.lookup_many, batch)
+
+
+def as_async_backend(
+    backend: SourceBackend, executor: Optional[Executor] = None
+) -> AsyncBackend:
+    """The backend itself when it is already async, else an adapter over it."""
+    if hasattr(backend, "alookup"):
+        return backend  # type: ignore[return-value]
+    return AsyncBackendAdapter(backend, executor)

@@ -273,10 +273,13 @@ def build_backend(
 ) -> SourceBackend:
     """Build a backend of the given kind over one relation instance.
 
-    ``kind`` is one of :data:`BACKEND_KINDS` or a factory
-    ``RelationInstance -> SourceBackend`` for fully custom backends.
-    ``real_latency`` only applies to the callable kind (injected sleep per
-    lookup); the memory and sqlite kinds are as fast as they are.
+    ``kind`` is one of :data:`BACKEND_KINDS`, an ``http://HOST:PORT`` /
+    ``https://HOST:PORT`` URL (accesses go to a remote JSON lookup service
+    speaking the :mod:`repro.sources.http` protocol; the local instance
+    only contributes the schema), or a factory ``RelationInstance ->
+    SourceBackend`` for fully custom backends.  ``real_latency`` only
+    applies to the callable kind (injected sleep per lookup); the memory
+    and sqlite kinds are as fast as they are.
     """
     if callable(kind) and not isinstance(kind, str):
         backend = kind(instance)
@@ -291,6 +294,11 @@ def build_backend(
         return SQLiteBackend.from_instance(instance)
     if kind == "callable":
         return CallableBackend.from_instance(instance, latency=real_latency)
+    if isinstance(kind, str) and kind.startswith(("http://", "https://")):
+        from repro.sources.http import HTTPBackend
+
+        return HTTPBackend(instance.schema, kind)
     raise AccessError(
-        f"unknown source backend kind {kind!r}; available: {', '.join(BACKEND_KINDS)}"
+        f"unknown source backend kind {kind!r}; available: "
+        f"{', '.join(BACKEND_KINDS)}, or an http(s)://HOST:PORT URL"
     )

@@ -261,6 +261,47 @@ class MetaCache:
                 return served
             time.sleep(self._claim_poll_interval)
 
+    def try_claim(
+        self, binding: Tuple[object, ...]
+    ) -> Tuple[ClaimStatus, Optional[FrozenSet[Row]]]:
+        """One non-blocking round of the claim protocol.
+
+        The async dispatcher cannot block on the condition variable (that
+        would stall the event loop the fulfilling coroutine runs on), so it
+        polls this method with ``await asyncio.sleep(...)`` between rounds.
+        Returns ``(OWNED, None)`` when the caller now owns the access,
+        ``(SERVED, rows)`` when the binding is recorded (a hit), or
+        ``(WAIT, None)`` when another coroutine/thread/process holds the
+        claim and the caller should retry after a pause.
+        """
+        binding = tuple(binding)
+        with self._cond:
+            rows = self._records.get(binding)
+            if rows is not None:
+                self.hits += 1
+                self._absorb_union(rows)
+                return ClaimStatus.SERVED, rows
+            if binding in self._inflight:
+                return ClaimStatus.WAIT, None
+            self._inflight.add(binding)
+        status, rows = self._records.claim(binding)
+        if status is ClaimStatus.OWNED:
+            return ClaimStatus.OWNED, None
+        if status is ClaimStatus.SERVED:
+            served = rows if rows is not None else frozenset()
+            with self._cond:
+                self.hits += 1
+                self._absorb_union(served)
+                self._inflight.discard(binding)
+                self._cond.notify_all()
+            return ClaimStatus.SERVED, served
+        # Another *process* owns the claim: release the in-process marker so
+        # local contenders (including this caller's retry) can re-contend.
+        with self._cond:
+            self._inflight.discard(binding)
+            self._cond.notify_all()
+        return ClaimStatus.WAIT, None
+
     def abandon(self, binding: Tuple[object, ...]) -> None:
         """Give up an owned claim (the access failed); waiters re-contend."""
         binding = tuple(binding)

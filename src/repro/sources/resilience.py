@@ -36,7 +36,7 @@ import hashlib
 import threading
 import time
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Awaitable, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import AccessError
 from repro.sources.backend import SourceBackend
@@ -627,6 +627,98 @@ class ResilienceContext:
                 backoff += delay
                 if self.real_sleep and delay > 0:
                     time.sleep(delay)
+                continue
+            with self._lock:
+                self.stats.attempts += attempts
+                self.stats.retries += retries
+                self.stats.backoff_seconds += backoff
+                self.stats.failures += 1
+                self.failed_relations.add(relation)
+            return PerformOutcome(
+                frozenset(), 0.0, attempts=attempts, backoff=backoff, fault=fault
+            )
+
+    async def aperform(
+        self,
+        relation: str,
+        binding: Binding,
+        aread: Callable[[], Awaitable[FrozenSet[Row]]],
+    ) -> PerformOutcome:
+        """:meth:`perform` for coroutine reads: same policy, awaited I/O.
+
+        The retry/timeout/breaker decision tree is kept line-for-line
+        identical to the sync path so the two dispatchers cannot drift;
+        only the read is awaited and retry backoff uses ``asyncio.sleep``
+        (the async dispatcher always runs on the wall clock, so backoff is
+        really waited, never charged to a simulation).
+        """
+        import asyncio
+
+        breaker: Optional[CircuitBreaker] = None
+        if self.config.breaker is not None:
+            breaker = self._breakers.get(relation) or self.breaker_for(relation)
+        dead = bool(self._dead) and relation in self._dead
+        if dead or (breaker is not None and not breaker.try_acquire()):
+            fault = (
+                SourceUnavailableError(relation, binding, "source marked down")
+                if dead
+                else CircuitOpenError(relation, binding, "circuit breaker open")
+            )
+            with self._lock:
+                self.stats.short_circuited += 1
+                self.stats.failures += 1
+                self.failed_relations.add(relation)
+            return PerformOutcome(frozenset(), 0.0, attempts=0, backoff=0.0, fault=fault)
+
+        retry = self.config.retry
+        max_attempts = retry.max_attempts if retry is not None else 1
+        timeout = self.config.timeout
+        time_reads = timeout is not None or self.real_sleep
+        attempts = 0
+        retries = 0
+        backoff = 0.0
+        while True:
+            attempts += 1
+            started = time.perf_counter() if time_reads else 0.0
+            fault: Optional[SourceFault] = None
+            try:
+                rows = await aread()
+            except SourceFault as error:
+                fault = error
+            seconds = (time.perf_counter() - started) if time_reads else 0.0
+            if fault is None and timeout is not None and seconds > timeout:
+                fault = SourceTimeoutError(
+                    relation, binding, f"read took {seconds:.4f}s > timeout {timeout:.4f}s"
+                )
+            if fault is None:
+                if breaker is not None:
+                    breaker.record_success()
+                with self._lock:
+                    self.stats.attempts += attempts
+                    self.stats.retries += retries
+                    self.stats.backoff_seconds += backoff
+                return PerformOutcome(rows, seconds, attempts=attempts, backoff=backoff)
+
+            tripped = False
+            if breaker is not None:
+                before = breaker.trips
+                breaker.record_failure()
+                tripped = breaker.trips > before
+            with self._lock:
+                if isinstance(fault, SourceTimeoutError):
+                    self.stats.timeouts += 1
+                elif isinstance(fault, TransientSourceError):
+                    self.stats.transient_faults += 1
+                if tripped:
+                    self.stats.breaker_trips += 1
+                if not fault.retryable:
+                    self._dead.add(relation)
+            if fault.retryable and not tripped and attempts < max_attempts:
+                delay = retry.delay_before(attempts) if retry is not None else 0.0
+                retries += 1
+                backoff += delay
+                if delay > 0:
+                    await asyncio.sleep(delay)
                 continue
             with self._lock:
                 self.stats.attempts += attempts

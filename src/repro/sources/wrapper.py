@@ -47,6 +47,8 @@ from repro.sources.backend import BackendLike, SourceBackend, as_backend, build_
 from repro.sources.log import AccessLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Executor
+
     from repro.sources.resilience import FaultSchedule
 
 Row = Tuple[object, ...]
@@ -95,6 +97,23 @@ class SourceWrapper:
         for binding in validated:
             validate_binding(self.schema, binding)
         return self.backend.lookup_many(validated)
+
+    async def alookup(
+        self, binding: Binding, executor: Optional["Executor"] = None
+    ) -> FrozenSet[Row]:
+        """:meth:`lookup` as a coroutine, for the event-loop dispatcher.
+
+        A backend with a native async read (``alookup``) is awaited on the
+        loop; a sync one is adapted onto ``executor`` (or the loop's
+        default pool) so it never blocks the loop.  Same validation, same
+        rows, no counting — the async dispatcher's coordinator counts via
+        :meth:`record_access`, exactly like the thread-pool dispatcher.
+        """
+        from repro.sources.async_backend import as_async_backend
+
+        binding = tuple(binding)
+        validate_binding(self.schema, binding)
+        return await as_async_backend(self.backend, executor).alookup(binding)
 
     # -- counted accesses -----------------------------------------------------
     def record_access(

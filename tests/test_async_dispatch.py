@@ -1,0 +1,381 @@
+"""The asyncio-native runtime: async dispatcher semantics (streaming,
+budgets, failures, never-repeat under raced coroutines), the HTTP source
+backend against the in-process fixture server, and async teardown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import Engine, HTTPBackend
+from repro.engine import Termination
+from repro.examples import chain_example, running_example, star_example
+from repro.exceptions import AccessError, ExecutionError, StrategyError
+from repro.model.schema import RelationSchema
+from repro.sources.cache import MetaCache
+from repro.sources.fixture_server import FixtureServer
+from repro.sources.http import parse_http_url
+from repro.sources.resilience import FaultSchedule, RetryPolicy
+from repro.sources.store import ClaimStatus
+from repro.sources.wrapper import SourceRegistry
+
+STRATEGIES = ("naive", "fast_fail", "distillation")
+
+
+@pytest.fixture(scope="module")
+def fixture_server():
+    example = running_example()
+    with FixtureServer(example.instance) as server:
+        yield example, server
+
+
+# -- async execution through every strategy ---------------------------------
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_async_matches_simulated_answers_and_accesses(strategy: str) -> None:
+    example = chain_example(length=3, width=5)
+
+    with Engine(example.schema, example.instance) as engine:
+        baseline = engine.execute(example.query_text, strategy=strategy)
+        baseline_accesses = engine.session.log.access_set()
+
+    with Engine(example.schema, example.instance) as engine:
+        result = engine.execute(
+            example.query_text, strategy=strategy, concurrency="async"
+        )
+        async_accesses = engine.session.log.access_set()
+
+    assert result.answers == baseline.answers == example.expected_answers
+    # The least fixpoint is order-independent: overlapping the accesses on
+    # the event loop performs exactly the set the sequential replay did.
+    assert async_accesses == baseline_accesses
+    assert result.total_accesses == baseline.total_accesses
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_aexecute_runs_on_the_callers_loop(strategy: str) -> None:
+    example = running_example()
+
+    async def run():
+        with Engine(example.schema, example.instance) as engine:
+            return await engine.aexecute(
+                example.query_text, strategy=strategy, concurrency="async"
+            )
+
+    result = asyncio.run(run())
+    assert result.answers == example.expected_answers
+
+
+def test_async_stream_yields_every_answer_with_monotone_times() -> None:
+    chain = chain_example(length=3, width=6)
+
+    async def collect():
+        with Engine(chain.schema, chain.instance) as engine:
+            answers = []
+            async for answer in engine.astream(
+                chain.query_text, concurrency="async", answer_check_interval=1
+            ):
+                answers.append(answer)
+            return answers
+
+    streamed = asyncio.run(collect())
+    assert {answer.row for answer in streamed} == chain.expected_answers
+    times = [answer.simulated_time for answer in streamed]
+    assert times == sorted(times)
+
+
+def test_sync_stream_bridges_the_async_dispatcher() -> None:
+    chain = chain_example(length=2, width=5)
+    with Engine(chain.schema, chain.instance) as engine:
+        streamed = list(engine.stream(chain.query_text, concurrency="async"))
+    assert {answer.row for answer in streamed} == chain.expected_answers
+
+
+def test_async_dispatcher_reports_genuine_overlap() -> None:
+    # A star query floods the backlog with independent spoke bindings, so
+    # the dispatcher should hold many of them in flight at once.
+    example = star_example(rays=3, width=12)
+    with Engine(example.schema, example.instance) as engine:
+        result = engine.execute(
+            example.query_text,
+            strategy="distillation",
+            concurrency="async",
+            max_in_flight=16,
+        )
+    assert result.answers == example.expected_answers
+    assert result.raw.peak_in_flight > 1
+    assert result.raw.peak_in_flight <= 16
+
+
+# -- budgets and failures under the async dispatcher ------------------------
+
+
+def test_async_budget_exhaustion_keeps_partial_answers() -> None:
+    chain = chain_example(length=2, width=4)
+    with Engine(chain.schema, chain.instance) as engine:
+        full = engine.execute(
+            chain.query_text, strategy="distillation", share_session_cache=False
+        )
+    budget = full.total_accesses - 2
+
+    with Engine(chain.schema, chain.instance) as engine:
+        partial = engine.execute(
+            chain.query_text,
+            strategy="distillation",
+            concurrency="async",
+            max_in_flight=1,
+            share_session_cache=False,
+            max_accesses=budget,
+            answer_check_interval=1,
+        )
+    assert partial.termination is Termination.BUDGET_EXHAUSTED
+    assert partial.budget_exhausted
+    assert partial.total_accesses == budget
+    assert partial.answers < full.answers
+
+
+def test_async_fast_fail_budget_raises_like_sync() -> None:
+    example = running_example()
+    with Engine(example.schema, example.instance) as engine:
+        with pytest.raises(ExecutionError):
+            engine.execute(
+                example.query_text,
+                strategy="fast_fail",
+                concurrency="async",
+                max_accesses=1,
+            )
+        # The one access that did run is in the session log regardless.
+        assert engine.session_stats()["total_accesses"] == 1
+
+
+def test_async_mid_stream_source_failure_degrades_to_lower_bound() -> None:
+    example = star_example(rays=2, width=6)
+    registry = SourceRegistry(example.instance)
+    # Every access fails once; with no retry policy the first attempts
+    # abandon their claims mid-run instead of poisoning them.
+    registry.inject_faults(FaultSchedule(seed=23, transient_rate=1.0, max_consecutive=1))
+    with Engine(example.schema, registry) as engine:
+        result = engine.execute(
+            example.query_text, strategy="distillation", concurrency="async"
+        )
+    assert not result.complete
+    assert result.failed_relations
+    assert result.answers <= example.expected_answers
+
+
+def test_async_faults_with_retries_match_simulated_execution() -> None:
+    example = star_example(rays=2, width=6)
+    retry = RetryPolicy(max_attempts=3, base_delay=0.0)
+
+    def run(concurrency: str):
+        registry = SourceRegistry(example.instance)
+        registry.inject_faults(FaultSchedule(seed=11, transient_rate=0.3))
+        with Engine(example.schema, registry) as engine:
+            result = engine.execute(
+                example.query_text,
+                strategy="distillation",
+                concurrency=concurrency,
+                retry=retry,
+            )
+            return result.answers, engine.session.log.access_set()
+
+    answers, accesses = run("async")
+    baseline_answers, baseline_accesses = run("simulated")
+    assert answers == baseline_answers == example.expected_answers
+    assert accesses == baseline_accesses
+
+
+# -- raced coroutines never repeat an access ---------------------------------
+
+
+def test_raced_aexecute_many_never_repeats_an_access() -> None:
+    chain = chain_example(length=3, width=6)
+    with Engine(chain.schema, chain.instance) as engine:
+        reference = Engine(chain.schema, chain.instance).execute(chain.query_text)
+
+        async def run():
+            return await engine.aexecute_many(
+                [chain.query_text] * 6, max_parallel=6, concurrency="async"
+            )
+
+        results = asyncio.run(run())
+        for result in results:
+            assert result.answers == chain.expected_answers
+        # Six racing copies of one query still only touch the sources once
+        # per distinct access tuple: the claim protocol holds on the loop.
+        assert engine.session.log.total_accesses == reference.total_accesses
+
+
+def test_sync_execute_many_accepts_async_concurrency() -> None:
+    chain = chain_example(length=2, width=4)
+    with Engine(chain.schema, chain.instance) as engine:
+        report = engine.run_workload(
+            [chain.query_text] * 3, max_parallel=3, concurrency="async"
+        )
+    assert all(result.answers == chain.expected_answers for result in report.results)
+    assert report.peak_in_flight >= 1
+
+
+# -- claim protocol primitives -----------------------------------------------
+
+
+def test_try_claim_owned_then_served_then_wait() -> None:
+    meta = MetaCache(RelationSchema.build("r", "io", ["A", "B"]))
+
+    status, rows = meta.try_claim(("x",))
+    assert status is ClaimStatus.OWNED and rows is None
+    # A second claimant must wait while the owner is in flight...
+    status, rows = meta.try_claim(("x",))
+    assert status is ClaimStatus.WAIT and rows is None
+    # ...and is served for free once the owner records the rows.
+    meta.record(("x",), frozenset({("x", "y")}))
+    status, rows = meta.try_claim(("x",))
+    assert status is ClaimStatus.SERVED
+    assert rows == frozenset({("x", "y")})
+
+
+def test_try_claim_abandon_lets_the_next_claimant_own() -> None:
+    meta = MetaCache(RelationSchema.build("r", "io", ["A", "B"]))
+    assert meta.try_claim(("x",))[0] is ClaimStatus.OWNED
+    meta.abandon(("x",))
+    assert meta.try_claim(("x",))[0] is ClaimStatus.OWNED
+
+
+# -- HTTP backend against the fixture server ---------------------------------
+
+
+def test_http_backend_sync_lookup_roundtrip(fixture_server) -> None:
+    example, server = fixture_server
+    relation = example.schema.get("r1")
+    backend = HTTPBackend(relation, server.url)
+    try:
+        rows = backend.lookup(("Adriano Celentano",))
+        assert rows == example.instance.relation("r1").lookup(("Adriano Celentano",))
+        many = backend.lookup_many([("Adriano Celentano",), ("no-such-artist",)])
+        assert many[0] == rows
+        assert many[1] == frozenset()
+    finally:
+        backend.close()
+
+
+def test_http_backend_async_lookup_matches_sync(fixture_server) -> None:
+    example, server = fixture_server
+    relation = example.schema.get("r2")
+    backend = HTTPBackend(relation, server.url)
+
+    async def run():
+        single = await backend.alookup(("volare",))
+        many = await backend.alookup_many([("volare",), ("nessuno",)])
+        return single, many
+
+    try:
+        single, many = asyncio.run(run())
+        assert single == backend.lookup(("volare",))
+        assert many[0] == single
+        assert many[1] == example.instance.relation("r2").lookup(("nessuno",))
+    finally:
+        backend.close()
+
+
+def test_http_backend_unknown_relation_is_a_permanent_error(fixture_server) -> None:
+    example, server = fixture_server
+    phantom = RelationSchema.build("nope", "io", ["A", "B"])
+    backend = HTTPBackend(phantom, server.url)
+    try:
+        with pytest.raises(AccessError):
+            backend.lookup(("x",))
+    finally:
+        backend.close()
+
+
+def test_engine_over_http_matches_in_memory_execution(fixture_server) -> None:
+    example, server = fixture_server
+
+    with Engine(example.schema, example.instance) as engine:
+        baseline = engine.execute(example.query_text)
+        baseline_accesses = engine.session.log.access_set()
+
+    registry = SourceRegistry(example.instance, backend=server.url)
+    with Engine(example.schema, registry) as engine:
+        sync_result = engine.execute(example.query_text)
+        sync_accesses = engine.session.log.access_set()
+
+    registry = SourceRegistry(example.instance, backend=server.url)
+    with Engine(example.schema, registry) as engine:
+        async_result = engine.execute(example.query_text, concurrency="async")
+        async_accesses = engine.session.log.access_set()
+
+    assert sync_result.answers == async_result.answers == example.expected_answers
+    assert sync_accesses == async_accesses == baseline_accesses
+
+
+@pytest.mark.parametrize(
+    "url",
+    ["", "ftp://host:1", "http://", "http://host:notaport", "host:8080"],
+)
+def test_parse_http_url_rejects_malformed_urls(url: str) -> None:
+    with pytest.raises(AccessError):
+        parse_http_url(url)
+
+
+def test_cli_bad_backend_url_exits_2(capsys) -> None:
+    from repro.cli import main
+
+    code = main(["run", "--example", "running", "--backend", "http://bad:url"])
+    assert code == 2
+    assert "error" in capsys.readouterr().err.lower()
+
+
+# -- teardown is idempotent ---------------------------------------------------
+
+
+def test_http_backend_close_is_idempotent(fixture_server) -> None:
+    example, server = fixture_server
+    backend = HTTPBackend(example.schema.get("r1"), server.url)
+    backend.lookup(("Adriano Celentano",))
+    backend.close()
+    backend.close()
+
+
+def test_fixture_server_close_is_idempotent() -> None:
+    example = running_example()
+    server = FixtureServer(example.instance).start()
+    backend = HTTPBackend(example.schema.get("r1"), server.url)
+    assert backend.lookup(("Adriano Celentano",))
+    backend.close()
+    server.close()
+    server.close()
+
+
+def test_engine_close_is_idempotent_after_async_use() -> None:
+    example = running_example()
+    engine = Engine(example.schema, example.instance)
+    result = engine.execute(example.query_text, concurrency="async")
+    assert result.answers == example.expected_answers
+    engine.close()
+    engine.close()
+
+
+def test_async_unsupported_strategy_raises_strategy_error() -> None:
+    from repro.engine.strategy import ExecutionStrategy
+    from repro.engine import register_strategy, unregister_strategy
+
+    class SyncOnly(ExecutionStrategy):
+        name = "sync_only_test"
+
+        def run(self, prepared, options):  # pragma: no cover - never reached
+            raise AssertionError
+
+    register_strategy(SyncOnly())
+    try:
+        example = running_example()
+        with Engine(example.schema, example.instance) as engine:
+            with pytest.raises(StrategyError):
+                engine.execute(
+                    example.query_text, strategy="sync_only_test", concurrency="async"
+                )
+    finally:
+        unregister_strategy("sync_only_test")

@@ -18,7 +18,11 @@ per-relation latencies, then asserts:
 * swapping the session's in-memory cache store for a fresh SQLite store
   changes nothing: identical answers and identical access counts, total
   and per-source (the store is where the access domain lives, not what
-  gets accessed).
+  gets accessed);
+* executing with ``concurrency="async"`` — over memory, SQLite, callable
+  and loopback-HTTP backends, fault-free or with retried transient
+  faults — matches the simulated dispatcher's answers and access counts
+  exactly (the dispatcher is a scheduler, never a semantics).
 
 The fixed-seed subset runs in CI; the full sweep is `pytest -m slow`.
 """
@@ -243,6 +247,107 @@ def check_sqlite_store_equivalence(seed: int) -> None:
         )
 
 
+def check_async_dispatcher_equivalence(seed: int) -> None:
+    """``concurrency="async"`` is a dispatcher, never a semantics.
+
+    For every strategy and backend, running the generated scenario through
+    the asyncio dispatcher must produce the simulated dispatcher's answers
+    *and* its access counts, total and per-source: the per-policy access
+    set is a least fixpoint, so overlapping the accesses on an event loop
+    cannot change which accesses are performed.
+    """
+    example, latencies = generate_case(seed)
+    for strategy in STRATEGIES:
+        for backend in BACKENDS:
+            baseline = _execute(example, _registry(example, latencies, backend), strategy)
+            overlapped = _execute(
+                example,
+                _registry(example, latencies, backend),
+                strategy,
+                concurrency="async",
+            )
+            assert overlapped.answers == baseline.answers == example.expected_answers, (
+                f"seed {seed}: async {strategy} on {backend} diverged from "
+                f"simulated answers on {example.name}"
+            )
+            assert overlapped.complete
+            observed = (
+                overlapped.total_accesses,
+                tuple(sorted((b.relation, b.accesses) for b in overlapped.per_source)),
+            )
+            expected = (
+                baseline.total_accesses,
+                tuple(sorted((b.relation, b.accesses) for b in baseline.per_source)),
+            )
+            assert observed == expected, (
+                f"seed {seed}: async {strategy} on {backend} performed different "
+                f"accesses on {example.name}: {observed} != {expected}"
+            )
+
+
+def check_async_http_equivalence(seed: int) -> None:
+    """The HTTP backend over loopback is equivalent to in-memory, sync or async."""
+    from repro.sources.fixture_server import FixtureServer
+
+    example, latencies = generate_case(seed)
+    with FixtureServer(example.instance) as server:
+        for strategy in STRATEGIES:
+            baseline = _execute(example, _registry(example, latencies, "memory"), strategy)
+            for concurrency in ("simulated", "async"):
+                result = _execute(
+                    example,
+                    _registry(example, latencies, server.url),
+                    strategy,
+                    concurrency=concurrency,
+                )
+                assert result.answers == baseline.answers == example.expected_answers, (
+                    f"seed {seed}: {strategy}/{concurrency} over HTTP diverged "
+                    f"on {example.name}"
+                )
+                assert result.total_accesses == baseline.total_accesses, (
+                    f"seed {seed}: {strategy}/{concurrency} over HTTP performed "
+                    f"{result.total_accesses} accesses, expected "
+                    f"{baseline.total_accesses} on {example.name}"
+                )
+
+
+def check_async_faulty_equivalence(seed: int) -> None:
+    """Under retried transient faults the async dispatcher still matches.
+
+    Retries are deterministic per binding (the schedule burns a fixed
+    number of leading faults), so with more attempts than the schedule's
+    consecutive-fault cap, no breaker and no timeout, the async and
+    simulated dispatchers converge on the same complete answers and the
+    same access counts.
+    """
+    example, latencies = generate_case(seed)
+    rng = random.Random(seed * 6121 + 5)
+    schedule = FaultSchedule(
+        seed=seed, transient_rate=rng.uniform(0.1, 0.3), max_consecutive=2
+    )
+    retry = RetryPolicy(max_attempts=3, base_delay=0.0)
+    for strategy in STRATEGIES:
+        runs = []
+        for concurrency in ("simulated", "async"):
+            registry = _registry(example, latencies, "memory")
+            registry.inject_faults(schedule)
+            result = _execute(example, registry, strategy, retry=retry, concurrency=concurrency)
+            assert result.complete and result.answers == example.expected_answers, (
+                f"seed {seed}: {strategy}/{concurrency} did not recover from "
+                f"retried transient faults on {example.name}"
+            )
+            runs.append(
+                (
+                    result.total_accesses,
+                    tuple(sorted((b.relation, b.accesses) for b in result.per_source)),
+                )
+            )
+        assert runs[0] == runs[1], (
+            f"seed {seed}: async {strategy} under faults performed different "
+            f"accesses on {example.name}: {runs[1]} != {runs[0]}"
+        )
+
+
 def check_faulty_runs_hold_the_completeness_contract(seed: int) -> None:
     example, latencies = generate_case(seed)
     rng = random.Random(seed * 7919 + 1)
@@ -298,6 +403,21 @@ def test_fuzz_sqlite_store_equivalence(seed: int) -> None:
     check_sqlite_store_equivalence(seed)
 
 
+@pytest.mark.parametrize("seed", CI_SEEDS)
+def test_fuzz_async_dispatcher_equivalence(seed: int) -> None:
+    check_async_dispatcher_equivalence(seed)
+
+
+@pytest.mark.parametrize("seed", CI_SEEDS[:4])
+def test_fuzz_async_http_equivalence(seed: int) -> None:
+    check_async_http_equivalence(seed)
+
+
+@pytest.mark.parametrize("seed", CI_SEEDS)
+def test_fuzz_async_faulty_equivalence(seed: int) -> None:
+    check_async_faulty_equivalence(seed)
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", FULL_SEEDS)
 def test_fuzz_full_sweep(seed: int) -> None:
@@ -306,3 +426,6 @@ def test_fuzz_full_sweep(seed: int) -> None:
     check_faulty_runs_hold_the_completeness_contract(seed)
     check_cost_optimizer_equivalence(seed)
     check_sqlite_store_equivalence(seed)
+    check_async_dispatcher_equivalence(seed)
+    check_async_http_equivalence(seed)
+    check_async_faulty_equivalence(seed)
