@@ -31,9 +31,22 @@ The run doubles as an equivalence suite:
 ``--smoke`` runs the two smallest chain workloads plus all the
 equivalence/throughput passes — the CI benchmark-smoke job.
 
+``--scale`` adds the 10⁴-tuple scenario tier (zipf-skewed fanout, a deep
+cyclic ring, and a UCQ workload executed branch-by-branch through one
+engine session) to the report's ``scale`` section.  The full report also
+carries a ``kernel_profile`` section: the runtime kernel's per-phase
+timings (offer / dispatch / absorb / answer-check) on the wide-fanout
+workload, with the distillation-vs-fast_fail wall ratio asserted within
+budget at identical answers and access counts.
+
+``--perf-smoke`` is the CI performance gate: just the wall-ratio
+assertion (relaxed to 3x for noisy shared runners) plus one scale smoke
+workload — seconds, not minutes, suitable for running under ``timeout``.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py [--output BENCH_engine.json] [--smoke]
+    PYTHONPATH=src python benchmarks/bench_engine.py [--output BENCH_engine.json]
+        [--smoke] [--scale] [--perf-smoke]
 """
 
 from __future__ import annotations
@@ -55,11 +68,14 @@ from repro.examples import (  # noqa: E402
     chain_example,
     chaos_example,
     cyclic_example,
+    deep_cycle_example,
     diamond_example,
     mixed_workload,
     skewed_fanout_example,
     star_example,
+    ucq_fanout_workload,
     wide_fanout_example,
+    zipf_fanout_example,
 )
 from repro.sources.resilience import (  # noqa: E402
     BreakerConfig,
@@ -696,6 +712,182 @@ def bench_cache_tier() -> Dict[str, object]:
     return entry
 
 
+#: Distillation wall / fast_fail wall budget on wide-fanout (full runs).
+#: Both runs perform identical accesses; the gap is pure kernel overhead
+#: (event loop, binding deltas, incremental answer checks).
+WALL_RATIO_BUDGET = 2.0
+
+#: The same budget, relaxed for the CI perf-smoke gate: shared runners are
+#: noisy and the gate must not flake.
+PERF_SMOKE_RATIO_BUDGET = 3.0
+
+#: Wall-time repeats for the ratio measurement (min is reported).
+PROFILE_REPEATS = 3
+
+
+def _profiled_run(example: Example, strategy: str) -> tuple:
+    """Best-of-N wall clock for one strategy on a fresh engine per repeat.
+
+    A fresh engine per measurement keeps the runs honest: a shared session
+    would serve every repeat from warm meta-caches with zero accesses.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(PROFILE_REPEATS):
+        with Engine(example.schema, example.instance, latency=ACCESS_LATENCY) as engine:
+            started = time.perf_counter()
+            candidate = engine.execute(
+                example.query_text,
+                strategy=strategy,
+                share_session_cache=False,
+                answer_check_interval=ANSWER_CHECK_INTERVAL,
+            )
+            wall = time.perf_counter() - started
+        if wall < best:
+            best, result = wall, candidate
+    return best, result
+
+
+def bench_kernel_profile(ratio_budget: float = WALL_RATIO_BUDGET) -> Dict[str, object]:
+    """Per-phase kernel profile on wide-fanout, with the wall-ratio gate.
+
+    The distillation scheduler performs exactly the same accesses as the
+    fast-failing strategy on this workload; everything above 1x is kernel
+    overhead (event loop, delta products, incremental answer checks).  The
+    profile section records where that overhead goes, and the ratio is
+    asserted within ``ratio_budget``.
+    """
+    example = wide_fanout_example()
+    entry: Dict[str, object] = {
+        "workload": example.name,
+        "repeats": PROFILE_REPEATS,
+        "strategies": {},
+    }
+    walls: Dict[str, float] = {}
+    results: Dict[str, object] = {}
+    for strategy in STRATEGIES:
+        wall, result = _profiled_run(example, strategy)
+        assert result.answers == example.expected_answers, (
+            f"{strategy} returned wrong answers on {example.name}"
+        )
+        walls[strategy] = wall
+        results[strategy] = result
+        record: Dict[str, object] = {
+            "wall_seconds": round(wall, 6),
+            "accesses": result.total_accesses,
+            "answers": len(result.answers),
+        }
+        if result.kernel_profile is not None:
+            record["profile"] = result.kernel_profile.to_dict()
+        entry["strategies"][strategy] = record  # type: ignore[index]
+    fast, distilled = results["fast_fail"], results["distillation"]
+    assert distilled.answers == fast.answers, (
+        "distillation and fast_fail answers diverged on wide-fanout"
+    )
+    assert distilled.total_accesses == fast.total_accesses, (
+        f"distillation made {distilled.total_accesses} accesses but fast_fail "
+        f"{fast.total_accesses} on {example.name}"
+    )
+    ratio = walls["distillation"] / walls["fast_fail"] if walls["fast_fail"] else 0.0
+    assert ratio <= ratio_budget, (
+        f"distillation wall is {ratio:.2f}x fast_fail on {example.name} "
+        f"(budget {ratio_budget}x): {walls['distillation']:.4f}s vs "
+        f"{walls['fast_fail']:.4f}s"
+    )
+    entry["wall_ratio_distillation_vs_fast_fail"] = round(ratio, 3)
+    entry["wall_ratio_budget"] = ratio_budget
+    entry["identical_answers_and_accesses"] = True
+    return entry
+
+
+def _scale_examples(smoke: bool) -> List[Example]:
+    """The scale tier: >= 10^4 tuples full, a few thousand in smoke."""
+    if smoke:
+        return [
+            zipf_fanout_example(keys=40, fan_rows=1000),
+            deep_cycle_example(size=2000, seeds=2, hops=3),
+        ]
+    return [
+        zipf_fanout_example(keys=100, fan_rows=3500),  # 10600 tuples
+        deep_cycle_example(size=10000, seeds=2, hops=3),  # 10002 tuples
+    ]
+
+
+def bench_scale(smoke: bool) -> Dict[str, object]:
+    """The 10⁴–10⁵-tuple scenario tier, end-to-end through the Engine facade.
+
+    Zipf-skewed fanout and the deep cyclic ring run every strategy with
+    answers asserted against the generators' expected sets; the UCQ
+    workload executes its branches through one engine session and asserts
+    the union — with the shared ``seed``/``fan`` prefix accessed exactly
+    once across branches (session meta-cache hits cover the rest).
+    """
+    entry: Dict[str, object] = {"workloads": {}}
+    for example in _scale_examples(smoke):
+        record: Dict[str, object] = {
+            "total_tuples": example.instance.total_tuples(),
+            "strategies": {},
+        }
+        for strategy in STRATEGIES:
+            with Engine(example.schema, example.instance) as engine:
+                started = time.perf_counter()
+                result = engine.execute(
+                    example.query_text,
+                    strategy=strategy,
+                    share_session_cache=False,
+                    answer_check_interval=ANSWER_CHECK_INTERVAL,
+                )
+                wall = time.perf_counter() - started
+            assert result.answers == example.expected_answers, (
+                f"{strategy} returned wrong answers on {example.name}"
+            )
+            record["strategies"][strategy] = {  # type: ignore[index]
+                "accesses": result.total_accesses,
+                "wall_seconds": round(wall, 6),
+                "answers": len(result.answers),
+            }
+        entry["workloads"][example.name] = record  # type: ignore[index]
+
+    ucq = (
+        ucq_fanout_workload(keys=20, fan_rows=400, branches=3)
+        if smoke
+        else ucq_fanout_workload(keys=50, fan_rows=2000, branches=4)
+    )
+    with Engine(ucq.schema, ucq.instance) as engine:
+        started = time.perf_counter()
+        union: set = set()
+        branch_records = []
+        for text in ucq.branch_queries:
+            result = engine.execute(text, strategy="fast_fail")
+            union |= result.answers
+            branch_records.append(
+                {"accesses": result.total_accesses, "answers": len(result.answers)}
+            )
+        wall = time.perf_counter() - started
+        stats = engine.session_stats()
+    assert union == set(ucq.expected_union), (
+        f"UCQ union diverged from expected on {ucq.name}"
+    )
+    # Branches after the first re-read the shared seed/fan prefix from the
+    # session meta-caches instead of re-accessing the sources.
+    later = branch_records[1:]
+    first = branch_records[0]
+    assert all(record["accesses"] < first["accesses"] for record in later), (
+        "UCQ branches did not share the common prefix through the session"
+    )
+    entry["ucq"] = {
+        "workload": ucq.name,
+        "total_tuples": ucq.instance.total_tuples(),
+        "branches": branch_records,
+        "union_answers": len(union),
+        "wall_seconds": round(wall, 6),
+        "session_accesses": stats["total_accesses"],
+        "session_meta_hits": stats["meta_hits"],
+        "shared_prefix_verified": True,
+    }
+    return entry
+
+
 def workloads(smoke: bool) -> List[Example]:
     chains = CHAIN_CONFIGURATIONS[:2] if smoke else CHAIN_CONFIGURATIONS
     examples = [chain_example(length=length, width=width) for length, width in chains]
@@ -721,7 +913,41 @@ def main(argv: List[str] | None = None) -> int:
             "real-concurrency equivalence passes (CI)"
         ),
     )
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help=(
+            "add the 10^4-tuple scenario tier (zipf fanout, deep cycle, UCQ) "
+            "to the report's 'scale' section"
+        ),
+    )
+    parser.add_argument(
+        "--perf-smoke",
+        action="store_true",
+        help=(
+            "CI performance gate only: assert the distillation/fast_fail "
+            "wall ratio <= 3x on wide-fanout plus one scale smoke workload; "
+            "writes no report"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.perf_smoke:
+        profile_entry = bench_kernel_profile(ratio_budget=PERF_SMOKE_RATIO_BUDGET)
+        print(
+            f"perf smoke on {profile_entry['workload']}: distillation wall is "
+            f"{profile_entry['wall_ratio_distillation_vs_fast_fail']}x fast_fail "
+            f"(budget {PERF_SMOKE_RATIO_BUDGET}x)"
+        )
+        scale_entry = bench_scale(smoke=True)
+        for name, record in scale_entry["workloads"].items():  # type: ignore[union-attr]
+            fast = record["strategies"]["fast_fail"]
+            print(
+                f"scale smoke on {name}: {record['total_tuples']} tuples, "
+                f"fast_fail {fast['accesses']} accesses in {fast['wall_seconds']}s"
+            )
+        print("perf smoke ok")
+        return 0
 
     results = []
     for example in workloads(args.smoke):
@@ -789,6 +1015,39 @@ def main(argv: List[str] | None = None) -> int:
         )
     )
 
+    profile_entry = bench_kernel_profile(
+        ratio_budget=PERF_SMOKE_RATIO_BUDGET if args.smoke else WALL_RATIO_BUDGET
+    )
+    distill_profile = profile_entry["strategies"]["distillation"]  # type: ignore[index]
+    timings = distill_profile["profile"]["timings_seconds"]
+    print(
+        f"kernel profile on {profile_entry['workload']}: distillation wall is "
+        f"{profile_entry['wall_ratio_distillation_vs_fast_fail']}x fast_fail "
+        f"(budget {profile_entry['wall_ratio_budget']}x) — "
+        f"offer {timings['offer']}s, dispatch {timings['dispatch']}s, "
+        f"absorb {timings['absorb']}s, answer-check {timings['answer_check']}s"
+    )
+
+    scale_entry = None
+    if args.scale:
+        scale_entry = bench_scale(args.smoke)
+        for name, record in scale_entry["workloads"].items():  # type: ignore[union-attr]
+            strategies = record["strategies"]
+            print(
+                f"{name:>22}: {record['total_tuples']} tuples — "
+                + " / ".join(
+                    f"{s} {r['accesses']} accesses {r['wall_seconds']:.3f}s"
+                    for s, r in strategies.items()
+                )
+            )
+        ucq_run = scale_entry["ucq"]  # type: ignore[index]
+        print(
+            f"ucq on {ucq_run['workload']}: {ucq_run['union_answers']} union answers "
+            f"over {len(ucq_run['branches'])} branches, "
+            f"{ucq_run['session_accesses']} session accesses "
+            f"({ucq_run['session_meta_hits']} meta hits, shared prefix verified)"
+        )
+
     cache_entry = bench_cache_tier()
     cold_run = cache_entry["cold"]  # type: ignore[index]
     warm_run = cache_entry["warm"]  # type: ignore[index]
@@ -818,7 +1077,10 @@ def main(argv: List[str] | None = None) -> int:
         "optimizer": optimizer_entry,
         "fault_tolerance": fault_entry,
         "cache_tier": cache_entry,
+        "kernel_profile": profile_entry,
     }
+    if scale_entry is not None:
+        report["scale"] = scale_entry
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")
     return 0

@@ -11,6 +11,7 @@ concurrently over one engine session and reports throughput::
     python -m repro plan --example
     python -m repro run --example --strategy fast_fail
     python -m repro run --example --strategy distillation --stream
+    python -m repro run --example --strategy distillation --profile
     python -m repro explain --example --json
     python -m repro run --workload w.json "q(X) <- r(X, Y)"
     python -m repro run --scenario star:rays=4,width=10 --backend sqlite
@@ -418,6 +419,11 @@ def _command_run(args: argparse.Namespace) -> int:
                 )
             else:
                 print(f"({len(streamed)} answers streamed)")
+                if args.profile:
+                    profile = getattr(prepared, "last_kernel_profile", None)
+                    if profile is not None:
+                        for line in profile.describe():
+                            print(line)
             return 0
         result = prepared.execute(
             strategy=strategy,
@@ -428,12 +434,15 @@ def _command_run(args: argparse.Namespace) -> int:
             **resilience,
         )
         if args.json:
-            print(json.dumps(result.to_dict(), indent=2))
+            print(json.dumps(result.to_dict(include_profile=args.profile), indent=2))
         else:
             for row in sorted(result.answers, key=repr):
                 print(row)
             print()
             print(result.summary())
+            if args.profile and result.kernel_profile is not None:
+                for line in result.kernel_profile.describe():
+                    print(line)
         return 0
 
 
@@ -587,6 +596,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--stream", action="store_true", help="stream incremental answers (distillation)"
+    )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print the runtime kernel's per-phase profile (offer / dispatch / "
+            "absorb / answer-check timings and counters) after the run"
+        ),
     )
     run_parser.add_argument(
         "--optimizer",

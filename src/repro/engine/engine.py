@@ -37,6 +37,7 @@ from repro.plan.minimal import MinimalPlanGenerator
 from repro.plan.parallel import StreamedAnswer
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.parser import parse_query
+from repro.runtime.profile import KernelProfile
 from repro.sources.backend import BackendLike
 from repro.sources.cache import CacheDatabase, MetaCache
 from repro.sources.log import AccessLog
@@ -74,6 +75,10 @@ class EngineSession:
             an unbounded in-memory store (the historical behaviour); a
             persistent store makes the session warm-start from prior
             processes, and TTL/LRU knobs bound its growth.
+        kernel_profile: cumulative per-phase kernel profile over every
+            execution absorbed so far (see
+            :class:`~repro.runtime.profile.KernelProfile`); surfaced as
+            ``stats()["kernel"]``.
     """
 
     def __init__(self, store: Optional[CacheStore] = None) -> None:
@@ -83,6 +88,7 @@ class EngineSession:
         self.log = AccessLog()
         self.executions = 0
         self.statistics = StatisticsCollector()
+        self.kernel_profile = KernelProfile()
         if self.store.persistent:
             self.statistics.preload_store_hits(self.store.persisted_hit_counters())
 
@@ -99,17 +105,21 @@ class EngineSession:
         registry: Optional[SourceRegistry] = None,
         retry_stats: Optional[object] = None,
         default_latency: float = 0.0,
+        kernel_profile: Optional[KernelProfile] = None,
     ) -> None:
         """Fold one execution's access log into the session log.
 
         When a ``registry`` is given, the log is also folded into the
         session's per-relation statistics, priced with the wrappers'
         latencies (``default_latency`` for wrappers that declare none)
-        and stretched by the run's ``retry_stats``.
+        and stretched by the run's ``retry_stats``.  A ``kernel_profile``
+        is merged into the session's cumulative kernel profile.
         """
         with self._lock:
             self.log.extend(log)
             self.executions += 1
+            if kernel_profile is not None:
+                self.kernel_profile.merge(kernel_profile)
         self.statistics.observe_log(
             log,
             registry=registry,
@@ -144,6 +154,7 @@ class EngineSession:
             self.log = AccessLog()
             self.executions = 0
             self.statistics.reset()
+            self.kernel_profile = KernelProfile()
             self.store.clear()
 
     def stats(self) -> Dict[str, object]:
@@ -159,6 +170,7 @@ class EngineSession:
                 "hit_rate": (hits / served) if served else 0.0,
                 "relations": self.statistics.per_relation_summary(),
                 "cache_store": self.store.stats(),
+                "kernel": self.kernel_profile.to_dict(),
             }
 
 

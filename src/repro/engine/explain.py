@@ -76,6 +76,9 @@ class Explanation:
             execution — chosen order, estimated vs. actual per-relation
             cardinalities, re-planning events — or None when the plan has
             only run with the structural order (or not run at all).
+        kernel_profile: the runtime kernel's per-phase profile of the most
+            recent execution (offer / dispatch / absorb / answer-check
+            timings and counters), or None when the plan has not run.
     """
 
     query: str
@@ -91,6 +94,7 @@ class Explanation:
     caches: Tuple[CacheInfo, ...]
     datalog: str
     optimizer: Optional[Dict[str, object]] = None
+    kernel_profile: Optional[Dict[str, object]] = None
 
     # -- rendering -----------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -122,6 +126,8 @@ class Explanation:
         }
         if self.optimizer is not None:
             payload["optimizer"] = self.optimizer
+        if self.kernel_profile is not None:
+            payload["kernel_profile"] = self.kernel_profile
         return payload
 
     def describe(self) -> str:
@@ -169,6 +175,20 @@ class Explanation:
                     "actual {actual_accesses}; est. fanout {estimated_fanout}, "
                     "actual {actual_fanout}".format(**entry)  # type: ignore[arg-type]
                 )
+        if self.kernel_profile is not None:
+            lines.append("kernel profile (last run):")
+            timings = self.kernel_profile.get("timings_seconds") or {}
+            counters = self.kernel_profile.get("counters") or {}
+            for phase in ("offer", "dispatch", "absorb", "answer_check"):
+                seconds = timings.get(phase)
+                if seconds is not None:
+                    lines.append(f"  {phase:<12}: {float(seconds) * 1000.0:.2f} ms")
+            lines.append(
+                "  completions : {completions} in {completion_batches} batches".format(
+                    completions=counters.get("completions", 0),
+                    completion_batches=counters.get("completion_batches", 0),
+                )
+            )
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -212,6 +232,7 @@ def build_explanation(prepared: "PreparedPlan") -> Explanation:
         )
 
     report = getattr(prepared, "last_optimizer_report", None)
+    profile = getattr(prepared, "last_kernel_profile", None)
     return Explanation(
         query=str(plan.original_query),
         minimized_query=str(plan.minimized_query),
@@ -226,4 +247,5 @@ def build_explanation(prepared: "PreparedPlan") -> Explanation:
         caches=tuple(caches),
         datalog=str(plan.to_datalog()),
         optimizer=report.to_dict() if report is not None else None,
+        kernel_profile=profile.to_dict() if profile is not None else None,
     )

@@ -45,6 +45,9 @@ class PreparedPlan:
     #: The cost-based optimizer's report of the most recent execution
     #: (None before any run, and after runs with the structural order).
     last_optimizer_report: Optional[object] = None
+    #: The runtime kernel's per-phase profile of the most recent execution
+    #: (None before any run; see :class:`repro.runtime.profile.KernelProfile`).
+    last_kernel_profile: Optional[object] = None
     #: Lazily computed canonical key for the query-result cache tier.
     _result_key: Optional[str] = None
 

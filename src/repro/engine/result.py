@@ -82,6 +82,10 @@ class Result:
         result_cache_hit: True when the answers were served whole from the
             engine's query-result cache tier (no plan executed, zero
             accesses); see :mod:`repro.sources.store`.
+        kernel_profile: per-phase timings/counters of the runtime kernel
+            that produced the result (offer / dispatch / absorb /
+            answer-check); None for result-cache hits, which execute no
+            kernel.  See :class:`repro.runtime.profile.KernelProfile`.
     """
 
     strategy: str
@@ -99,6 +103,7 @@ class Result:
     raw: object = field(default=None, repr=False)
     optimizer_report: object = field(default=None, repr=False)
     result_cache_hit: bool = False
+    kernel_profile: object = field(default=None, repr=False)
 
     # -- inspection ----------------------------------------------------------
     @property
@@ -141,8 +146,14 @@ class Result:
         return [breakdown.relation for breakdown in self.per_source]
 
     # -- rendering -----------------------------------------------------------
-    def to_dict(self) -> Dict[str, object]:
-        """JSON-serializable view (used by the CLI and the benchmarks)."""
+    def to_dict(self, include_profile: bool = False) -> Dict[str, object]:
+        """JSON-serializable view (used by the CLI and the benchmarks).
+
+        ``include_profile=True`` adds the kernel's per-phase profile under
+        ``"profile"``.  It is opt-in because the profile carries wall-clock
+        timings, which would make the otherwise-deterministic payload vary
+        from run to run (the equivalence suites fingerprint this dict).
+        """
         payload: Dict[str, object] = {
             "strategy": self.strategy,
             "answers": sorted([list(row) for row in self.answers], key=repr),
@@ -168,6 +179,8 @@ class Result:
         }
         if self.optimizer_report is not None:
             payload["optimizer"] = self.optimizer_report.to_dict()  # type: ignore[attr-defined]
+        if include_profile and self.kernel_profile is not None:
+            payload["profile"] = self.kernel_profile.to_dict()  # type: ignore[attr-defined]
         return payload
 
     def summary(self) -> str:

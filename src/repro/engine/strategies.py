@@ -149,6 +149,7 @@ class NaiveStrategy(ExecutionStrategy):
                 log,
                 registry=engine.registry,
                 retry_stats=raw.retry_stats if raw is not None else None,
+                kernel_profile=raw.kernel_profile if raw is not None else None,
             )
         elapsed = time.perf_counter() - started
         return self._shape(prepared, raw, log, elapsed, optimizer)
@@ -167,6 +168,7 @@ class NaiveStrategy(ExecutionStrategy):
                 log,
                 registry=engine.registry,
                 retry_stats=raw.retry_stats if raw is not None else None,
+                kernel_profile=raw.kernel_profile if raw is not None else None,
             )
         elapsed = time.perf_counter() - started
         return self._shape(prepared, raw, log, elapsed, optimizer)
@@ -176,6 +178,8 @@ class NaiveStrategy(ExecutionStrategy):
         per_source, simulated = _breakdown(log, engine.registry)
         report = optimizer.report(log) if optimizer is not None else None
         prepared.last_optimizer_report = report
+        profile = raw.kernel_profile
+        prepared.last_kernel_profile = profile
         return Result(
             strategy=self.name,
             answers=raw.answers,
@@ -189,6 +193,7 @@ class NaiveStrategy(ExecutionStrategy):
             access_log=log,
             raw=raw,
             optimizer_report=report,
+            kernel_profile=profile,
         )
 
 
@@ -227,6 +232,7 @@ class FastFailStrategy(ExecutionStrategy):
                 log,
                 registry=engine.registry,
                 retry_stats=raw.retry_stats if raw is not None else None,
+                kernel_profile=raw.kernel_profile if raw is not None else None,
             )
         return self._shape(prepared, raw, log, optimizer)
 
@@ -245,6 +251,7 @@ class FastFailStrategy(ExecutionStrategy):
                 log,
                 registry=engine.registry,
                 retry_stats=raw.retry_stats if raw is not None else None,
+                kernel_profile=raw.kernel_profile if raw is not None else None,
             )
         return self._shape(prepared, raw, log, optimizer)
 
@@ -253,6 +260,8 @@ class FastFailStrategy(ExecutionStrategy):
         per_source, simulated = _breakdown(log, engine.registry)
         report = optimizer.report(log) if optimizer is not None else None
         prepared.last_optimizer_report = report
+        profile = raw.kernel_profile
+        prepared.last_kernel_profile = profile
         return Result(
             strategy=self.name,
             answers=raw.answers,
@@ -270,6 +279,7 @@ class FastFailStrategy(ExecutionStrategy):
             access_log=log,
             raw=raw,
             optimizer_report=report,
+            kernel_profile=profile,
         )
 
 
@@ -318,6 +328,7 @@ class DistillationStrategy(ExecutionStrategy):
                 registry=engine.registry,
                 retry_stats=raw.retry_stats if raw is not None else None,
                 default_latency=options.default_latency,
+                kernel_profile=raw.kernel_profile if raw is not None else None,
             )
         elapsed = time.perf_counter() - started
         return self._shape(prepared, options, raw, log, elapsed, optimizer)
@@ -339,6 +350,7 @@ class DistillationStrategy(ExecutionStrategy):
                 registry=engine.registry,
                 retry_stats=raw.retry_stats if raw is not None else None,
                 default_latency=options.default_latency,
+                kernel_profile=raw.kernel_profile if raw is not None else None,
             )
         elapsed = time.perf_counter() - started
         return self._shape(prepared, options, raw, log, elapsed, optimizer)
@@ -348,6 +360,8 @@ class DistillationStrategy(ExecutionStrategy):
         per_source, _ = _breakdown(log, engine.registry, options.default_latency)
         report = optimizer.report(log) if optimizer is not None else None
         prepared.last_optimizer_report = report
+        profile = raw.kernel_profile
+        prepared.last_kernel_profile = profile
         return Result(
             strategy=self.name,
             answers=raw.answers,
@@ -362,6 +376,7 @@ class DistillationStrategy(ExecutionStrategy):
             access_log=log,
             raw=raw,
             optimizer_report=report,
+            kernel_profile=profile,
         )
 
     def stream(
@@ -383,6 +398,7 @@ class DistillationStrategy(ExecutionStrategy):
                 registry=engine.registry,
                 retry_stats=last.retry_stats if last is not None else None,
                 default_latency=options.default_latency,
+                kernel_profile=last.kernel_profile if last is not None else None,
             )
             if optimizer is not None:
                 prepared.last_optimizer_report = optimizer.report(log)
@@ -406,6 +422,7 @@ class DistillationStrategy(ExecutionStrategy):
                 registry=engine.registry,
                 retry_stats=last.retry_stats if last is not None else None,
                 default_latency=options.default_latency,
+                kernel_profile=last.kernel_profile if last is not None else None,
             )
             if optimizer is not None:
                 prepared.last_optimizer_report = optimizer.report(log)

@@ -307,6 +307,108 @@ def skewed_fanout_example(
     )
 
 
+def _zipf_fanouts(keys: int, total_rows: int, exponent: float) -> list:
+    """Deterministic zipf-ish fanout per key: ``fanout_k`` ∝ ``1/(k+1)^s``.
+
+    Scaled so the fanouts sum to roughly ``total_rows`` (each key keeps at
+    least one row).  No randomness: the same parameters always produce the
+    same skew, so scale scenarios stay reproducible and carry exact
+    expected answers.
+    """
+    weights = [1.0 / float(k + 1) ** exponent for k in range(keys)]
+    scale = total_rows / sum(weights)
+    return [max(1, int(round(weight * scale))) for weight in weights]
+
+
+def zipf_fanout_example(
+    keys: int = 50, fan_rows: int = 1000, exponent: float = 1.1
+) -> Example:
+    """The scale tier's skewed fanout: zipf-distributed key popularity.
+
+    Same three-tier shape as :func:`wide_fanout_example` (``seed`` → ``fan``
+    → ``collect`` plus an irrelevant ``junk``), but the number of mid-tier
+    values per seed key follows a deterministic zipf law — the first key
+    expands into a large fraction of all ``fan_rows`` rows while the tail
+    keys expand into a handful.  At ``fan_rows=3500`` the instance holds
+    over 10⁴ tuples, which is what the benchmark's ``--scale`` section runs.
+    The skew stresses exactly what uniform fanout cannot: one wrapper's
+    queue and one cache's delta stream dwarf all the others.
+    """
+    if keys < 1 or fan_rows < keys:
+        raise ValueError("zipf_fanout_example needs keys >= 1 and fan_rows >= keys")
+    if exponent <= 0.0:
+        raise ValueError("zipf_fanout_example needs exponent > 0")
+    schema = Schema.from_signatures(
+        {
+            "seed": ("oo", ["D1", "Aux"]),
+            "fan": ("ioo", ["D1", "D2", "Aux"]),
+            "collect": ("ioo", ["D2", "D3", "Aux"]),
+            "junk": ("io", ["D2", "Aux"]),
+        }
+    )
+    fanouts = _zipf_fanouts(keys, fan_rows, exponent)
+    instance = DatabaseInstance(schema)
+    expected = set()
+    for i, fanout in enumerate(fanouts):
+        instance.add_tuple("seed", (f"u{i}", f"sa{i}"))
+        for j in range(fanout):
+            mid = f"m{i}_{j}"
+            instance.add_tuple("fan", (f"u{i}", mid, f"fa{i}_{j}"))
+            instance.add_tuple("collect", (mid, f"z{i}_{j}", f"ca{i}_{j}"))
+            instance.add_tuple("junk", (mid, f"ja{i}_{j}"))
+            expected.add((f"z{i}_{j}",))
+    return Example(
+        name=f"zipf-fanout-{keys}x{fan_rows}@{exponent}",
+        schema=schema,
+        instance=instance,
+        query_text="q(X3) <- seed(X1, A0), fan(X1, X2, A1), collect(X2, X3, A2)",
+        expected_answers=frozenset(expected),
+    )
+
+
+def deep_cycle_example(size: int = 1000, seeds: int = 2, hops: int = 3) -> Example:
+    """The scale tier's cyclic d-graph: a large ring pumped to fixpoint.
+
+    Like :func:`cyclic_example` but sized for the 10⁴-tuple tier and with a
+    parameterized number of query hops.  ``step^ioo(D1, D1, Aux)`` maps
+    every ring value to its successor — output and input share one abstract
+    domain, so the d-graph has a genuine cycle.  The contrast at scale: the
+    ⊂-minimal plan proves each hop only needs the previous hop's outputs
+    and stops after ``hops + seeds``-ish accesses, while the naive baseline
+    pours every retrieved value back into its pool and pumps the *entire*
+    ring through ``step`` — ``size`` accesses driven one delta at a time,
+    the worst case for an executor that re-scans full pool contents per
+    pass.
+    """
+    if size < 1 or not 1 <= seeds <= size:
+        raise ValueError("deep_cycle_example needs size >= 1 and 1 <= seeds <= size")
+    if hops < 1:
+        raise ValueError("deep_cycle_example needs hops >= 1")
+    schema = Schema.from_signatures(
+        {
+            "seed": ("oo", ["D1", "Aux"]),
+            "step": ("ioo", ["D1", "D1", "Aux"]),
+        }
+    )
+    instance = DatabaseInstance(schema)
+    for i in range(seeds):
+        instance.add_tuple("seed", (f"v{i}", f"sa{i}"))
+    for i in range(size):
+        instance.add_tuple("step", (f"v{i}", f"v{(i + 1) % size}", f"ta{i}"))
+    body = ["seed(X0, A0)"]
+    for h in range(1, hops + 1):
+        body.append(f"step(X{h - 1}, X{h}, B{h})")
+    query_text = f"q(X{hops}) <- " + ", ".join(body)
+    expected = frozenset({(f"v{(i + hops) % size}",) for i in range(seeds)})
+    return Example(
+        name=f"deep-cycle-{size}x{seeds}h{hops}",
+        schema=schema,
+        instance=instance,
+        query_text=query_text,
+        expected_answers=expected,
+    )
+
+
 def cyclic_example(size: int = 8, seeds: int = 2) -> Example:
     """A cyclic d-graph: a relation whose output feeds its own input domain.
 
@@ -452,6 +554,8 @@ SCENARIOS: Dict[str, Callable[..., Example]] = {
     "cycle": cyclic_example,
     "chaos": chaos_example,
     "adaptive": adaptive_example,
+    "zipf-fanout": zipf_fanout_example,
+    "deep-cycle": deep_cycle_example,
 }
 
 
@@ -558,6 +662,78 @@ def mixed_workload(
         schema=schema,
         instance=instance,
         queries=queries,
+    )
+
+
+@dataclass(frozen=True)
+class UCQWorkload:
+    """A union of conjunctive queries over one shared schema and instance.
+
+    The engine evaluates conjunctive queries; a UCQ runs as one engine
+    session executing every branch and unioning the answer sets.  Because
+    all branches share the session's meta-caches, the accesses common to
+    several branches (here: the whole ``seed``/``fan`` prefix) are performed
+    exactly once for the whole union — the session-level "never repeat an
+    access" invariant applied across the branches of one query.
+
+    Attributes:
+        name: workload identifier (carries the size parameters).
+        schema / instance: the shared database.
+        branch_queries: one conjunctive query text per UCQ branch.
+        expected_union: the union of the branches' expected answers.
+    """
+
+    name: str
+    schema: Schema
+    instance: DatabaseInstance
+    branch_queries: Tuple[str, ...]
+    expected_union: FrozenSet[Tuple[object, ...]]
+
+
+def ucq_fanout_workload(
+    keys: int = 20, fan_rows: int = 400, branches: int = 3, exponent: float = 1.1
+) -> UCQWorkload:
+    """A UCQ over a zipf-skewed fanout: one shared prefix, many collect tails.
+
+    ``seed^oo`` and ``fan^ioo`` form the shared prefix (fanouts zipf-skewed
+    as in :func:`zipf_fanout_example`); each branch ``b`` has its own
+    ``collect{b}^ioo`` tail, and the UCQ is the union of the per-branch
+    three-atom chains.  Branch answer sets are disjoint by construction, so
+    ``expected_union`` has ``branches * fan_rows``-ish rows and any
+    duplicate suppression bug shows up as a count mismatch.
+    """
+    if branches < 1:
+        raise ReproError("ucq_fanout_workload needs branches >= 1")
+    if keys < 1 or fan_rows < keys:
+        raise ReproError("ucq_fanout_workload needs keys >= 1 and fan_rows >= keys")
+    signatures: Dict[str, Tuple[str, list]] = {
+        "seed": ("oo", ["D1", "Aux"]),
+        "fan": ("ioo", ["D1", "D2", "Aux"]),
+    }
+    for b in range(1, branches + 1):
+        signatures[f"collect{b}"] = ("ioo", ["D2", f"D3_{b}", "Aux"])
+    schema = Schema.from_signatures(signatures)
+    fanouts = _zipf_fanouts(keys, fan_rows, exponent)
+    instance = DatabaseInstance(schema)
+    expected = set()
+    for i, fanout in enumerate(fanouts):
+        instance.add_tuple("seed", (f"u{i}", f"sa{i}"))
+        for j in range(fanout):
+            mid = f"m{i}_{j}"
+            instance.add_tuple("fan", (f"u{i}", mid, f"fa{i}_{j}"))
+            for b in range(1, branches + 1):
+                instance.add_tuple(f"collect{b}", (mid, f"z{b}_{i}_{j}", f"ca{b}_{i}_{j}"))
+                expected.add((f"z{b}_{i}_{j}",))
+    queries = tuple(
+        f"q(X3) <- seed(X1, A0), fan(X1, X2, A1), collect{b}(X2, X3, A2)"
+        for b in range(1, branches + 1)
+    )
+    return UCQWorkload(
+        name=f"ucq-fanout-{keys}x{fan_rows}u{branches}",
+        schema=schema,
+        instance=instance,
+        branch_queries=queries,
+        expected_union=frozenset(expected),
     )
 
 

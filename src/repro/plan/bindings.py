@@ -28,7 +28,6 @@ iteration order.
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
 from repro.plan.plan import CachePredicate, ProviderSpec, QueryPlan
@@ -63,23 +62,49 @@ class DeltaProduct:
         return self._emit(olds, news)
 
     def _emit(self, olds: List[int], news: List[int]) -> Iterator[Tuple[object, ...]]:
-        for pivot in range(len(self._streams)):
+        streams = self._streams
+        k = len(streams)
+        if k == 1:
+            # The common unary case: the delta segment itself, no buffers.
+            stream = streams[0]
+            for i in range(olds[0], news[0]):
+                yield (stream[i],)
+            return
+        for pivot in range(k):
             if news[pivot] == olds[pivot]:
                 continue
-            segments: List[Sequence[object]] = []
-            for j, stream in enumerate(self._streams):
+            # Index bounds per coordinate; the streams are read in place
+            # (append-only), so no prefix is ever copied or re-scanned.
+            starts = [0] * k
+            ends = [0] * k
+            empty = False
+            for j in range(k):
                 if j < pivot:
-                    segment = stream[: olds[j]]
+                    ends[j] = olds[j]
                 elif j == pivot:
-                    segment = stream[olds[j] : news[j]]
+                    starts[j] = olds[j]
+                    ends[j] = news[j]
                 else:
-                    segment = stream[: news[j]]
-                if not segment:
-                    segments = []
+                    ends[j] = news[j]
+                if starts[j] >= ends[j]:
+                    empty = True
                     break
-                segments.append(segment)
-            if segments:
-                yield from itertools.product(*segments)
+            if empty:
+                continue
+            # Odometer over the index ranges, last coordinate fastest —
+            # same order as itertools.product over the segments.
+            idx = starts.copy()
+            while True:
+                yield tuple(streams[j][idx[j]] for j in range(k))
+                j = k - 1
+                while j >= 0:
+                    idx[j] += 1
+                    if idx[j] < ends[j]:
+                        break
+                    idx[j] = starts[j]
+                    j -= 1
+                if j < 0:
+                    break
 
 
 class ProviderStream:

@@ -37,6 +37,7 @@ from typing import FrozenSet, List, Optional, Tuple
 from repro.plan.plan import QueryPlan
 from repro.runtime.kernel import FixpointKernel, KernelOutcome
 from repro.runtime.policy import OrderedFastFail
+from repro.runtime.profile import KernelProfile
 from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
 from repro.sources.resilience import ResilienceConfig, RetryStats
@@ -92,6 +93,8 @@ class ExecutionResult:
         retry_stats: the run's resilience accounting.
         replans: adaptive re-planning events performed mid-run (0 without
             a cost-based optimizer).
+        kernel_profile: per-phase timings/counters of the run's kernel
+            (see :mod:`repro.runtime.profile`).
     """
 
     answers: FrozenSet[Row]
@@ -104,6 +107,7 @@ class ExecutionResult:
     failed_relations: Tuple[str, ...] = ()
     retry_stats: RetryStats = field(default_factory=RetryStats)
     replans: int = 0
+    kernel_profile: Optional[KernelProfile] = None
 
     @property
     def total_accesses(self) -> int:
@@ -215,4 +219,5 @@ class FastFailingExecutor:
             failed_relations=outcome.failed_relations,
             retry_stats=outcome.retry_stats,
             replans=outcome.replans,
+            kernel_profile=outcome.profile,
         )

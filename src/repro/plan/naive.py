@@ -35,6 +35,7 @@ from repro.model.schema import Schema
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.runtime.kernel import FixpointKernel
 from repro.runtime.policy import EagerAllRelations
+from repro.runtime.profile import KernelProfile
 from repro.sources.log import AccessLog
 from repro.sources.resilience import ResilienceConfig, RetryStats
 from repro.sources.wrapper import SourceRegistry
@@ -58,6 +59,8 @@ class NaiveEvaluationResult:
         retry_stats: the run's resilience accounting.
         replans: adaptive re-planning events performed mid-run (always 0
             for the eager policy; present for result uniformity).
+        kernel_profile: per-phase timings/counters of the run's kernel
+            (see :mod:`repro.runtime.profile`).
     """
 
     answers: FrozenSet[Row]
@@ -68,6 +71,7 @@ class NaiveEvaluationResult:
     failed_relations: Tuple[str, ...] = ()
     retry_stats: RetryStats = field(default_factory=RetryStats)
     replans: int = 0
+    kernel_profile: Optional[KernelProfile] = None
 
     @property
     def total_accesses(self) -> int:
@@ -181,4 +185,5 @@ class NaiveEvaluator:
             failed_relations=outcome.failed_relations,
             retry_stats=outcome.retry_stats,
             replans=outcome.replans,
+            kernel_profile=outcome.profile,
         )

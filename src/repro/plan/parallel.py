@@ -46,6 +46,7 @@ from repro.exceptions import ExecutionError
 from repro.runtime.kernel import AnswerTracker, StreamedAnswer  # noqa: F401  (re-export)
 from repro.runtime.kernel import FixpointKernel, KernelOutcome
 from repro.runtime.policy import AsyncParallel, RealThreadPool, SimulatedParallel
+from repro.runtime.profile import KernelProfile
 from repro.plan.plan import QueryPlan
 from repro.sources.cache import CacheDatabase
 from repro.sources.log import AccessLog
@@ -81,6 +82,8 @@ class DistillationResult:
             a cost-based optimizer).
         peak_in_flight: highest number of simultaneously in-flight source
             accesses observed (0 for dispatchers that do not track it).
+        kernel_profile: per-phase timings/counters of the run's kernel
+            (see :mod:`repro.runtime.profile`).
     """
 
     answers: FrozenSet[Row]
@@ -94,6 +97,7 @@ class DistillationResult:
     retry_stats: RetryStats = field(default_factory=RetryStats)
     replans: int = 0
     peak_in_flight: int = 0
+    kernel_profile: Optional[KernelProfile] = None
 
     @property
     def total_accesses(self) -> int:
@@ -321,6 +325,7 @@ class DistillationExecutor:
             retry_stats=outcome.retry_stats,
             replans=outcome.replans,
             peak_in_flight=outcome.peak_in_flight,
+            kernel_profile=outcome.profile,
         )
         self.last_result = result
         return result

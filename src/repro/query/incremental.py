@@ -1,0 +1,256 @@
+"""Incremental (semi-naive) evaluation of a CQ over growing cache tables.
+
+The runtime kernel checks for new answers every few completions so it can
+stream them as soon as they are derivable.  Re-evaluating the full rewritten
+query on every check is by far the dominant cost of the distillation
+strategy (profiling attributes ~85% of its wall clock to it), because each
+check re-joins every row extracted so far.
+
+:class:`IncrementalAnswerEvaluator` replaces those full evaluations with the
+standard semi-naive decomposition over the caches' append-only row logs
+(:meth:`~repro.sources.cache.CacheTable.row_log`): any answer that became
+derivable since the previous check uses at least one row that arrived since
+then, so joining each atom's *delta* rows against the other atoms' full
+(hash-indexed) contents finds every new answer.  An answer whose rows span
+several deltas is found once per such pivot; the caller's dedup (the
+kernel's :class:`~repro.runtime.kernel.AnswerTracker` keeps first-seen
+times) makes the duplicates harmless.
+
+The joins run on plain ``dict`` bindings with per-atom compiled match plans
+— no :class:`~repro.query.substitution.Substitution` allocation — and probe
+the cache tables' persistent position-group indexes
+(:meth:`~repro.sources.cache.CacheTable.probe`), which are maintained
+incrementally from the same row logs, so a check costs time proportional to
+the new rows and the answers they enable, not to the total extracted data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.terms import Constant, Variable
+from repro.sources.cache import CacheDatabase, CacheTable
+
+Row = Tuple[object, ...]
+
+#: Compiled term: (is_constant, constant value or Variable).
+_TermPlan = Tuple[bool, object]
+
+
+def _term_plans(terms: Sequence[object]) -> List[Tuple[int, _TermPlan]]:
+    plans: List[Tuple[int, _TermPlan]] = []
+    for position, term in enumerate(terms):
+        if isinstance(term, Constant):
+            plans.append((position, (True, term.value)))
+        else:
+            plans.append((position, (False, term)))
+    return plans
+
+
+class _Step:
+    """One non-pivot atom of a compiled pivot program."""
+
+    __slots__ = ("predicate", "arity", "key_positions", "key_terms", "rest")
+
+    def __init__(
+        self,
+        predicate: str,
+        arity: int,
+        key_positions: Tuple[int, ...],
+        key_terms: List[_TermPlan],
+        rest: List[Tuple[int, _TermPlan]],
+    ) -> None:
+        self.predicate = predicate
+        self.arity = arity
+        #: Positions ground when the step runs (constants + bound variables);
+        #: the step probes the cache's hash index on exactly these positions.
+        self.key_positions = key_positions
+        self.key_terms = key_terms
+        #: The remaining positions, matched/bound against each candidate row.
+        self.rest = rest
+
+
+class _Program:
+    """The join program for one pivot atom: match the delta row, then steps."""
+
+    __slots__ = ("pivot_terms", "pivot_arity", "steps")
+
+    def __init__(
+        self, pivot_terms: List[Tuple[int, _TermPlan]], pivot_arity: int, steps: List[_Step]
+    ) -> None:
+        self.pivot_terms = pivot_terms
+        self.pivot_arity = pivot_arity
+        self.steps = steps
+
+
+class IncrementalAnswerEvaluator:
+    """Answers of ``query`` that became derivable since the previous call.
+
+    ``query``'s body atoms must name cache tables of ``cache_db`` (the
+    rewritten query of a plan does); missing tables are treated as empty.
+    Each :meth:`delta_answers` call advances per-atom watermarks over the
+    tables' row logs and returns the answers derivable now that involve at
+    least one new row — a superset of the truly new answers (an answer may
+    be re-derived through a different pivot), and a subset of the current
+    full evaluation.
+    """
+
+    def __init__(self, query: ConjunctiveQuery, cache_db: CacheDatabase) -> None:
+        self._cache_db = cache_db
+        self._atoms = list(query.body)
+        self._marks = [0] * len(self._atoms)
+        self._programs = [self._compile(pivot) for pivot in range(len(self._atoms))]
+        self._head: List[_TermPlan] = [
+            (True, term.value) if isinstance(term, Constant) else (False, term)
+            for term in query.head_terms
+        ]
+
+    # -- compilation ---------------------------------------------------------
+    def _compile(self, pivot: int) -> _Program:
+        pivot_atom = self._atoms[pivot]
+        bound: Set[Variable] = set(pivot_atom.variable_set())
+        remaining = [atom for index, atom in enumerate(self._atoms) if index != pivot]
+        steps: List[_Step] = []
+        while remaining:
+            # Greedy bound-first order, as in the full evaluator: prefer the
+            # atom with the most ground terms so index probes stay selective.
+            def bound_count(atom: object) -> int:
+                return sum(
+                    1
+                    for term in atom.terms
+                    if isinstance(term, Constant) or term in bound
+                )
+
+            remaining.sort(key=lambda atom: -bound_count(atom))
+            atom = remaining.pop(0)
+            key_positions: List[int] = []
+            key_terms: List[_TermPlan] = []
+            rest: List[Tuple[int, _TermPlan]] = []
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Constant):
+                    key_positions.append(position)
+                    key_terms.append((True, term.value))
+                elif term in bound:
+                    key_positions.append(position)
+                    key_terms.append((False, term))
+                else:
+                    rest.append((position, (False, term)))
+            steps.append(
+                _Step(atom.predicate, atom.arity, tuple(key_positions), key_terms, rest)
+            )
+            bound.update(atom.variable_set())
+        return _Program(_term_plans(pivot_atom.terms), pivot_atom.arity, steps)
+
+    # -- evaluation ----------------------------------------------------------
+    def _table(self, predicate: str) -> Optional[CacheTable]:
+        if self._cache_db.has_cache(predicate):
+            return self._cache_db.cache(predicate)
+        return None
+
+    def delta_answers(self) -> Set[Row]:
+        """New answers derivable from the rows added since the previous call."""
+        out: Set[Row] = set()
+        tables = [self._table(atom.predicate) for atom in self._atoms]
+        news = [len(table.row_log()) if table is not None else 0 for table in tables]
+        for pivot in range(len(self._atoms)):
+            low, high = self._marks[pivot], news[pivot]
+            if low >= high:
+                continue
+            program = self._programs[pivot]
+            log = tables[pivot].row_log()  # type: ignore[union-attr]
+            for index in range(low, high):
+                row = log[index]
+                if len(row) != program.pivot_arity:
+                    continue
+                binding = self._match_row(program.pivot_terms, row, None)
+                if binding is not None:
+                    self._join(program.steps, 0, binding, out)
+        self._marks = news
+        return out
+
+    def _match_row(
+        self,
+        plans: List[Tuple[int, _TermPlan]],
+        row: Row,
+        binding: Optional[Dict[Variable, object]],
+    ) -> Optional[Dict[Variable, object]]:
+        """Match a row against compiled terms, extending a fresh binding copy."""
+        result = dict(binding) if binding is not None else {}
+        for position, (is_constant, payload) in plans:
+            value = row[position]
+            if is_constant:
+                if payload != value:
+                    return None
+            else:
+                known = result.get(payload, _MISSING)
+                if known is _MISSING:
+                    result[payload] = value
+                elif known != value:
+                    return None
+        return result
+
+    def _join(
+        self,
+        steps: List[_Step],
+        depth: int,
+        binding: Dict[Variable, object],
+        out: Set[Row],
+    ) -> None:
+        if depth == len(steps):
+            answer: List[object] = []
+            for is_constant, payload in self._head:
+                answer.append(payload if is_constant else binding[payload])
+            out.add(tuple(answer))
+            return
+        step = steps[depth]
+        table = self._table(step.predicate)
+        if table is None:
+            return
+        if step.key_positions:
+            key: List[object] = []
+            for is_constant, payload in step.key_terms:
+                key.append(payload if is_constant else binding[payload])
+            rows: Sequence[Row] = table.probe(step.key_positions, tuple(key))
+        else:
+            rows = table.row_log()
+        rest = step.rest
+        arity = step.arity
+        for row in rows:
+            if len(row) != arity:
+                continue
+            extended = self._extend(rest, row, binding)
+            if extended is not None:
+                self._join(steps, depth + 1, extended, out)
+
+    def _extend(
+        self,
+        rest: List[Tuple[int, _TermPlan]],
+        row: Row,
+        binding: Dict[Variable, object],
+    ) -> Optional[Dict[Variable, object]]:
+        """Bind the non-key positions of a candidate row (repeats must agree)."""
+        if not rest:
+            return binding
+        extended: Optional[Dict[Variable, object]] = None
+        for position, (_, variable) in rest:
+            value = row[position]
+            source = extended if extended is not None else binding
+            known = source.get(variable, _MISSING)
+            if known is _MISSING:
+                if extended is None:
+                    extended = dict(binding)
+                extended[variable] = value
+            elif known != value:
+                return None
+        return extended if extended is not None else binding
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -75,7 +75,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 Row = Tuple[object, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessOutcome:
     """Resolution of one access request by :meth:`Dispatcher._acquire_rows`.
 
@@ -324,7 +324,7 @@ class SequentialDispatcher(Dispatcher):
         return self.clock
 
 
-@dataclass
+@dataclass(slots=True)
 class _WrapperState:
     """Scheduling state of one wrapper during the simulation."""
 
@@ -384,9 +384,17 @@ class SimulatedParallelDispatcher(Dispatcher):
         self._ready: List[Completion] = []
         #: The simulation's current clock (latest event seen), for breakers.
         self._now = 0.0
+        #: Wrappers whose state changed since they were last refilled: only
+        #: these are touched by :meth:`refill` (submit and event delivery
+        #: mark them; a quiescent wrapper is never re-scanned or re-probed).
+        self._dirty: Set[str] = set()
+        #: Wrappers whose queue head the budget denied (stall memo, so the
+        #: drained-heap check does not scan every wrapper per step).
+        self._stalled: Set[str] = set()
 
     def submit(self, request: AccessRequest) -> None:
         self._pending[request.relation].append(request)
+        self._dirty.add(request.relation)
 
     def now(self) -> float:
         return self._now
@@ -399,25 +407,41 @@ class SimulatedParallelDispatcher(Dispatcher):
         of which has completed) is resolved here, *before* a completion
         event is scheduled for it: a served hit costs no wrapper time, so
         it must never occupy a latency slot of the simulation.
+
+        Only wrappers marked dirty (new submissions, or an event delivered
+        since their last refill) are processed; iteration stays in wrapper
+        registration order so the delivery order of meta-hit completions —
+        and everything downstream of it — is reproducible run to run.
         """
         self._now = max(self._now, now)
+        if not self._dirty:
+            return
         for name, state in self._wrappers.items():
+            if name not in self._dirty:
+                continue
+            self._dirty.discard(name)
             backlog = self._pending[name]
+            queue = state.queue
             while True:
-                while backlog and len(state.queue) < self.queue_capacity:
-                    state.queue.append(backlog.popleft())
-                if not state.queue or state.scheduled:
+                while backlog and len(queue) < self.queue_capacity:
+                    queue.append(backlog.popleft())
+                if not queue or state.scheduled:
                     break
-                rows = self._recorded_rows(state.queue[0])
+                rows = self._recorded_rows(queue[0])
                 if rows is None:
                     # A stalled wrapper's head stays queued but is never
                     # re-scheduled: the budget that denied it cannot grow.
-                    if not state.stalled:
+                    # It stays dirty, though — a concurrent execution may
+                    # yet record the head's binding, which the probe above
+                    # then serves for free.
+                    if state.stalled:
+                        self._dirty.add(name)
+                    else:
                         start = max(state.busy_until, now)
                         state.scheduled = True
                         heapq.heappush(self._events, (start + state.latency, name))
                     break
-                request = state.queue.popleft()
+                request = queue.popleft()
                 self._ready.append(Completion(request, rows, now, counted=False))
 
     def has_work(self) -> bool:
@@ -433,6 +457,16 @@ class SimulatedParallelDispatcher(Dispatcher):
         )
 
     def step(self) -> Optional[List[Completion]]:
+        """Deliver every completion of the next simulated-time tick.
+
+        All events sharing the earliest finish time — necessarily distinct
+        wrappers, each with at most one event in flight — are popped and
+        resolved as one batch, so the kernel pays one absorb/offer round
+        per *tick* instead of one per completion.  Within the tick, events
+        resolve in heap order (time, then relation name): the same order
+        the one-pop-per-step design produced, so budget denials, refunds
+        and breaker state evolve identically.
+        """
         if self._ready:
             ready, self._ready = self._ready, []
             return ready
@@ -441,76 +475,98 @@ class SimulatedParallelDispatcher(Dispatcher):
             # work the kernel still sees is exactly the work the budget
             # refuses to fund — report the stall (the kernel only calls
             # step() while has_work(), so remaining work is guaranteed).
-            if any(state.stalled for state in self._wrappers.values()):
+            if self._stalled:
                 return None
             return []
-        finish, relation = heapq.heappop(self._events)
+        completions: List[Completion] = []
+        events = self._events
+        finish = events[0][0]
         self._now = max(self._now, finish)
-        state = self._wrappers[relation]
-        state.scheduled = False
-        wrapper = self.registry.wrapper(relation)
-        if state.pending is not None:
-            # A retried access resolved earlier; its extended finish event
-            # just popped, so deliver (and log) it now — in clock order.
-            completion, state.pending = state.pending, None
-            if completion.counted:
-                wrapper.record_access(
-                    completion.request.binding,
-                    completion.rows,
-                    self.log,
-                    simulated_time=completion.finish_time,
+        while events and events[0][0] == finish:
+            _, relation = heapq.heappop(events)
+            state = self._wrappers[relation]
+            state.scheduled = False
+            self._dirty.add(relation)
+            wrapper = self.registry.wrapper(relation)
+            if state.pending is not None:
+                # A retried access resolved earlier; its extended finish
+                # event just popped, so deliver (and log) it now — in clock
+                # order.
+                completion, state.pending = state.pending, None
+                if completion.counted:
+                    wrapper.record_access(
+                        completion.request.binding,
+                        completion.rows,
+                        self.log,
+                        simulated_time=completion.finish_time,
+                    )
+                completions.append(completion)
+                continue
+            request = state.queue[0]
+            outcome = self._acquire_rows(request, wrapper)
+            if outcome is None:
+                # The budget denied this wrapper's head.  Other events may
+                # still be in the heap — notably retry-stretched pending
+                # completions whose accesses were already performed, charged
+                # and recorded on the meta-cache; they must be delivered (in
+                # clock order), not dropped with the run's answers and
+                # budget accounting short.  The denied head stalls (it can
+                # never be funded again); the stall is only reported once
+                # the heap has drained.
+                state.stalled = True
+                self._stalled.add(relation)
+                continue
+            state.queue.popleft()
+            if not outcome.counted and not outcome.failed:
+                # A concurrent execution recorded the binding between
+                # schedule and completion: the rows are served, the
+                # wrapper's busy time and the budget stay untouched.
+                completions.append(Completion(request, outcome.rows, finish, counted=False))
+                continue
+            if outcome.attempts == 0:
+                # Short-circuited by an open breaker: the wrapper did no
+                # work, so its busy time and the sequential cost stay
+                # untouched.
+                completions.append(
+                    Completion(request, frozenset(), finish, counted=False, failed=True)
                 )
-            return [completion]
-        request = state.queue[0]
-        outcome = self._acquire_rows(request, wrapper)
-        if outcome is None:
-            # The budget denied this wrapper's head.  Other events may still
-            # be in the heap — notably retry-stretched pending completions
-            # whose accesses were already performed, charged and recorded on
-            # the meta-cache; they must be delivered (in clock order), not
-            # dropped with the run's answers and budget accounting short.
-            # The denied head stalls (it can never be funded again); the
-            # stall is only reported once the heap has drained.
-            state.stalled = True
-            return [] if self._events else None
-        state.queue.popleft()
-        if not outcome.counted and not outcome.failed:
-            # A concurrent execution recorded the binding between schedule
-            # and completion: the rows are served, the wrapper's busy time
-            # and the budget stay untouched.
-            return [Completion(request, outcome.rows, finish, counted=False)]
-        if outcome.attempts == 0:
-            # Short-circuited by an open breaker: the wrapper did no work,
-            # so its busy time and the sequential cost stay untouched.
-            return [Completion(request, frozenset(), finish, counted=False, failed=True)]
-        # Retries stretch the access beyond its scheduled one-latency slot:
-        # every attempt occupied the wrapper, every backoff waited in line.
-        extra = (outcome.attempts - 1) * state.latency + outcome.backoff
-        completion_time = finish + extra
-        state.busy_until = completion_time
-        self.sequential_time += outcome.attempts * state.latency + outcome.backoff
-        completion = Completion(
-            request,
-            outcome.rows if not outcome.failed else frozenset(),
-            completion_time,
-            counted=not outcome.failed,
-            failed=outcome.failed,
-        )
-        if extra <= 0:
-            if completion.counted:
-                # The heap clock is the authoritative one: the record is
-                # stamped with this event's finish time, not count × latency.
-                wrapper.record_access(
-                    request.binding, completion.rows, self.log, simulated_time=completion_time
-                )
-            return [completion]
-        # Deliver via the heap so later events of other wrappers cannot be
-        # absorbed after this one with an earlier timestamp (the kernel
-        # enforces a monotone clock).
-        state.pending = completion
-        state.scheduled = True
-        heapq.heappush(self._events, (completion_time, relation))
-        return []
+                continue
+            # Retries stretch the access beyond its scheduled one-latency
+            # slot: every attempt occupied the wrapper, every backoff waited
+            # in line.
+            extra = (outcome.attempts - 1) * state.latency + outcome.backoff
+            completion_time = finish + extra
+            state.busy_until = completion_time
+            self.sequential_time += outcome.attempts * state.latency + outcome.backoff
+            completion = Completion(
+                request,
+                outcome.rows if not outcome.failed else frozenset(),
+                completion_time,
+                counted=not outcome.failed,
+                failed=outcome.failed,
+            )
+            if extra <= 0:
+                if completion.counted:
+                    # The heap clock is the authoritative one: the record is
+                    # stamped with this event's finish time, not
+                    # count × latency.
+                    wrapper.record_access(
+                        request.binding,
+                        completion.rows,
+                        self.log,
+                        simulated_time=completion_time,
+                    )
+                completions.append(completion)
+                continue
+            # Deliver via the heap so later events of other wrappers cannot
+            # be absorbed after this one with an earlier timestamp (the
+            # kernel enforces a monotone clock).
+            state.pending = completion
+            state.scheduled = True
+            heapq.heappush(events, (completion_time, relation))
+        if completions:
+            return completions
+        return [] if events else None
 
     def total_time(self) -> float:
         return max(

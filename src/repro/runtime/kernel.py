@@ -30,6 +30,7 @@ from typing import (
     Callable,
     Dict,
     FrozenSet,
+    Iterable,
     Iterator,
     List,
     Optional,
@@ -37,7 +38,10 @@ from typing import (
     Tuple,
 )
 
+from time import perf_counter
+
 from repro.exceptions import ExecutionError
+from repro.runtime.profile import KernelProfile
 from repro.sources.resilience import ResilienceConfig, ResilienceContext, RetryStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -48,7 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 Row = Tuple[object, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessRequest:
     """One unit of dispatchable work: access ``relation`` with ``binding``.
 
@@ -63,7 +67,7 @@ class AccessRequest:
     binding: Tuple[object, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Completion:
     """One finished access, stamped with the dispatcher's authoritative clock.
 
@@ -85,7 +89,7 @@ class Completion:
     failed: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamedAnswer:
     """One incremental answer produced by a streaming execution.
 
@@ -107,24 +111,49 @@ class AnswerTracker:
     ``now`` is whatever clock the run's dispatcher is authoritative for
     (the event-heap clock in simulation, the wall clock in real-concurrency
     mode, the cumulative latency sum in sequential runs).
+
+    Intermediate checks use the policy's *incremental* evaluator when it
+    offers one (:meth:`~repro.runtime.policy.PlanPolicy.evaluate_delta`):
+    the semi-naive pass touches only the cache rows added since the last
+    check, which is what keeps frequent streaming checks from dominating
+    the run.  The final check always performs one full evaluation, so the
+    reported answer set never depends on the incremental path.
     """
 
-    def __init__(self, evaluate: Callable[[], FrozenSet[Row]]) -> None:
+    def __init__(
+        self,
+        evaluate: Callable[[], FrozenSet[Row]],
+        evaluate_delta: Optional[Callable[[], Set[Row]]] = None,
+    ) -> None:
         self._evaluate = evaluate
+        self._evaluate_delta = evaluate_delta
         self.answers: Set[Row] = set()
         self.answer_times: Dict[Row, float] = {}
         self.first_answer_time: Optional[float] = None
+        self.incremental_checks = 0
+        self.full_checks = 0
 
     def check(self, now: float) -> List[StreamedAnswer]:
-        """Evaluate the query; return the newly derived rows, timestamped."""
-        current = self._evaluate()
+        """Intermediate check: new derivable rows since the last one, timestamped."""
+        if self._evaluate_delta is not None:
+            self.incremental_checks += 1
+            return self._register(self._evaluate_delta(), now)
+        return self.final(now)
+
+    def final(self, now: float) -> List[StreamedAnswer]:
+        """Full evaluation of the query; return the newly derived rows."""
+        self.full_checks += 1
+        return self._register(self._evaluate(), now)
+
+    def _register(self, current: Iterable[Row], now: float) -> List[StreamedAnswer]:
         fresh: List[StreamedAnswer] = []
+        answer_times = self.answer_times
         for row in current:
-            if row not in self.answer_times:
-                self.answer_times[row] = now
+            if row not in answer_times:
+                answer_times[row] = now
                 fresh.append(StreamedAnswer(row=row, simulated_time=now))
         self.answers.update(current)
-        if current and self.first_answer_time is None:
+        if self.first_answer_time is None and self.answers:
             self.first_answer_time = now
         return fresh
 
@@ -228,6 +257,8 @@ class KernelOutcome:
     replans: int = 0
     gate_served: int = 0
     peak_in_flight: int = 0
+    #: Per-phase timings/counters of the run (see :mod:`repro.runtime.profile`).
+    profile: Optional[KernelProfile] = None
 
     @property
     def source_failure(self) -> bool:
@@ -283,7 +314,14 @@ class FixpointKernel:
         self.resilience = ResilienceContext(resilience)
         self.resilience.bind_clock(self.dispatcher.now, real_sleep=self.dispatcher.wall_clock)
         self.dispatcher.resilience = self.resilience
-        self.tracker = AnswerTracker(policy.evaluate)
+        # Intermediate answer checks go through the policy's incremental
+        # evaluator when it has one; the final check is always full.
+        self.tracker = AnswerTracker(
+            policy.evaluate, getattr(policy, "evaluate_delta", None)
+        )
+        #: Per-phase timings/counters of this run (always on; see
+        #: :mod:`repro.runtime.profile`).
+        self.profile = KernelProfile()
         #: The kernel's monotone clock: the latest completion absorbed.
         self.clock = 0.0
         #: The outcome of the most recent run (async generators cannot
@@ -317,7 +355,10 @@ class FixpointKernel:
                     outcome = stop.value
                     break
                 if kind == "step":
+                    started = perf_counter()
                     reply = self.dispatcher.step()
+                    self.profile.dispatch_seconds += perf_counter() - started
+                    self.profile.dispatch_steps += 1
                 else:
                     yield payload
                     reply = None
@@ -355,7 +396,10 @@ class FixpointKernel:
                     self.last_outcome = stop.value
                     break
                 if kind == "step":
+                    started = perf_counter()
                     reply = await astep() if astep is not None else self.dispatcher.step()
+                    self.profile.dispatch_seconds += perf_counter() - started
+                    self.profile.dispatch_steps += 1
                 else:
                     yield payload
                     reply = None
@@ -380,13 +424,19 @@ class FixpointKernel:
         completed_since_check = 0
         budget_exhausted = False
         gate_served = 0
+        profile = self.profile
 
         more_phases = self.policy.begin()
         while more_phases and not budget_exhausted:
             while True:
+                started = perf_counter()
                 self._offer_fixpoint()
+                profile.offer_seconds += perf_counter() - started
+                started = perf_counter()
                 self.dispatcher.refill(self.clock)
-                if not self.dispatcher.has_work():
+                has_work = self.dispatcher.has_work()
+                profile.dispatch_seconds += perf_counter() - started
+                if not has_work:
                     break
                 batch = yield ("step", None)
                 if batch is None:
@@ -399,6 +449,7 @@ class FixpointKernel:
                     break
                 if not batch:
                     continue
+                started = perf_counter()
                 batch_had_rows = False
                 for completion in batch:
                     self._absorb(completion)
@@ -407,20 +458,36 @@ class FixpointKernel:
                         gate_served += 1
                     if completion.rows:
                         batch_had_rows = True
+                profile.absorb_seconds += perf_counter() - started
+                profile.completions += len(batch)
+                profile.completion_batches += 1
+                if len(batch) > profile.max_batch:
+                    profile.max_batch = len(batch)
                 if (
                     self.answer_check_interval is not None
                     and batch_had_rows
                     and completed_since_check >= self.answer_check_interval
                 ):
                     completed_since_check = 0
-                    for streamed in self.tracker.check(self.clock):
+                    started = perf_counter()
+                    streamed_batch = self.tracker.check(self.clock)
+                    profile.answer_check_seconds += perf_counter() - started
+                    for streamed in streamed_batch:
+                        profile.answers_streamed += 1
                         yield ("answer", streamed)
             if not budget_exhausted:
                 more_phases = self.policy.advance()
 
         total_time = self.dispatcher.total_time()
-        for streamed in self.tracker.check(total_time):
+        started = perf_counter()
+        streamed_batch = self.tracker.final(total_time)
+        profile.answer_check_seconds += perf_counter() - started
+        for streamed in streamed_batch:
+            profile.answers_streamed += 1
             yield ("answer", streamed)
+        profile.answer_checks = self.tracker.incremental_checks + self.tracker.full_checks
+        profile.incremental_checks = self.tracker.incremental_checks
+        profile.full_checks = self.tracker.full_checks
         return KernelOutcome(
             answers=frozenset(self.tracker.answers),
             answer_times=self.tracker.answer_times,
@@ -433,6 +500,7 @@ class FixpointKernel:
             replans=getattr(self.policy, "optimizer_replans", 0),
             gate_served=gate_served,
             peak_in_flight=getattr(self.dispatcher, "peak_in_flight", 0),
+            profile=profile,
         )
 
     def _offer_fixpoint(self) -> None:
@@ -443,8 +511,12 @@ class FixpointKernel:
         one pass is not enough: iterate until nothing new is offered or
         served locally.
         """
-        while self.policy.offer(self.dispatcher.submit):
-            pass
+        offer = self.policy.offer
+        submit = self.dispatcher.submit
+        passes = 1
+        while offer(submit):
+            passes += 1
+        self.profile.offer_passes += passes
 
     def _absorb(self, completion: Completion) -> None:
         """Fold one completion into the policy state, enforcing the clock."""

@@ -322,17 +322,22 @@ class PlanPolicy(SchedulingPolicy):
         for cache in caches:
             if excluded(cache.relation.name):
                 continue
+            fresh = self.generators[cache.name].fresh_bindings()
+            meta = table = None
+            relation_name = cache.relation.name
             # The generator yields each binding of this cache exactly once
             # over the whole run, so no dedup set is needed here.
-            for binding in self.generators[cache.name].fresh_bindings():
+            for binding in fresh:
                 if serve_from_meta:
-                    meta = self.cache_db.meta_cache(cache.relation)
+                    if meta is None:
+                        meta = self.cache_db.meta_cache(cache.relation)
+                        table = self.cache_db.cache(cache.name)
                     rows = meta.lookup(binding)
                     if rows is not None:
-                        if self.cache_db.cache(cache.name).add_all(rows):
+                        if table.add_all(rows):
                             changed = True
                         continue
-                emit(AccessRequest(cache.name, cache.relation.name, binding))
+                emit(AccessRequest(cache.name, relation_name, binding))
         return changed
 
     def absorb(self, completion: Completion) -> None:
@@ -342,6 +347,23 @@ class PlanPolicy(SchedulingPolicy):
 
     def evaluate(self) -> FrozenSet[Row]:
         return self.plan.rewritten_query.evaluate(self.cache_db.contents())
+
+    def evaluate_delta(self) -> Set[Row]:
+        """Answers newly derivable since the previous delta call.
+
+        Backed by the semi-naive evaluator over the cache tables' row logs
+        (:mod:`repro.query.incremental`), so a call costs time proportional
+        to the rows absorbed since the last one — this is what the kernel's
+        intermediate (streaming) answer checks run instead of a full
+        re-evaluation of the rewritten query.
+        """
+        if getattr(self, "_incremental", None) is None:
+            from repro.query.incremental import IncrementalAnswerEvaluator
+
+            self._incremental = IncrementalAnswerEvaluator(
+                self.plan.rewritten_query, self.cache_db
+            )
+        return self._incremental.delta_answers()
 
     def meta_for(self, relation: str) -> Optional["MetaCache"]:
         return self.cache_db.meta_cache(self.plan.schema[relation])

@@ -16,7 +16,7 @@ from typing import FrozenSet, Tuple
 from repro.model.schema import RelationSchema
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class AccessTuple:
     """The binding of an access: one value per input argument, in order.
 
@@ -32,7 +32,7 @@ class AccessTuple:
         return f"{self.relation}[{rendered}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessRecord:
     """The outcome of one access: the access tuple plus what it returned.
 

@@ -29,7 +29,18 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.model.schema import RelationSchema
 from repro.sources.access import AccessTuple
@@ -68,6 +79,10 @@ class CacheTable:
         arity = relation.arity
         self._value_sets: List[Set[object]] = [set() for _ in range(arity)]
         self._value_logs: List[List[object]] = [[] for _ in range(arity)]
+        self._row_log: List[Row] = []
+        # position-group hash indexes, maintained lazily from the row log:
+        # {positions: [{key: [rows]}, watermark-into-row-log]}
+        self._indexes: Dict[Tuple[int, ...], List[object]] = {}
 
     # -- mutation -----------------------------------------------------------
     def add(self, row: Row) -> bool:
@@ -75,6 +90,7 @@ class CacheTable:
         if row in self._rows:
             return False
         self._rows.add(row)
+        self._row_log.append(row)
         while len(self._value_sets) < len(row):  # tolerate over-arity rows
             self._value_sets.append(set())
             self._value_logs.append([])
@@ -111,6 +127,51 @@ class CacheTable:
 
     def value_count(self, position: int) -> int:
         return len(self._value_logs[position])
+
+    def row_log(self) -> List[Row]:
+        """Append-only log of the distinct rows, in arrival order.
+
+        The returned list is live (rows are appended as they arrive, and
+        existing entries never move), so ``row_log()[mark:]`` is exactly the
+        rows added since a caller's watermark ``mark`` — the hook behind the
+        incremental (semi-naive) answer checks of the runtime kernel.
+        """
+        return self._row_log
+
+    def index_for(self, positions: Tuple[int, ...]) -> Dict[Tuple[object, ...], List[Row]]:
+        """Hash index ``{key: rows}`` grouping rows by the given positions.
+
+        Indexes persist across calls and are brought up to date
+        incrementally from the row log, so repeated probes cost O(new rows)
+        instead of a rebuild per evaluation.  Rows too short for the
+        requested positions are skipped (over-arity tolerance cuts both
+        ways).  Callers must treat the returned buckets as read-only.
+        """
+        entry = self._indexes.get(positions)
+        if entry is None:
+            entry = [{}, 0]
+            self._indexes[positions] = entry
+        index: Dict[Tuple[object, ...], List[Row]] = entry[0]
+        mark: int = entry[1]
+        log = self._row_log
+        if mark < len(log):
+            width = max(positions) + 1 if positions else 0
+            for i in range(mark, len(log)):
+                row = log[i]
+                if len(row) < width:
+                    continue
+                key = tuple(row[p] for p in positions)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [row]
+                else:
+                    bucket.append(row)
+            entry[1] = len(log)
+        return index
+
+    def probe(self, positions: Tuple[int, ...], key: Tuple[object, ...]) -> Sequence[Row]:
+        """Rows whose values at ``positions`` equal ``key`` (O(1) + new-row upkeep)."""
+        return self.index_for(positions).get(key, ())
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self._rows)

@@ -1,0 +1,251 @@
+"""Hot-path complexity guards for the kernel's delta machinery.
+
+These tests pin the O(delta) contracts that keep large fixpoints cheap:
+:class:`~repro.plan.bindings.DeltaProduct` and
+:class:`~repro.plan.bindings.CacheBindingGenerator` must touch work
+proportional to the *new* values of a pass, not to the accumulated state —
+measured with counting backends at 10^4-value scale — and the dispatcher's
+batched same-tick delivery must preserve the kernel's monotone completion
+clock (the kernel raises if a completion arrives out of clock order).
+"""
+
+from __future__ import annotations
+
+from repro.engine import Engine
+from repro.examples import (
+    deep_cycle_example,
+    ucq_fanout_workload,
+    wide_fanout_example,
+    zipf_fanout_example,
+)
+from repro.model.schema import Schema
+from repro.plan.bindings import CacheBindingGenerator, DeltaProduct
+from repro.plan.plan import CachePredicate, ProviderSpec
+from repro.sources.cache import CacheDatabase
+
+
+class CountingList(list):
+    """A list that counts how many elements are read through it.
+
+    Integer indexing counts one touch; slice reads count one touch per
+    element returned.  ``len()`` is free, matching the O(1) watermark
+    comparisons the delta machinery is allowed to make.
+    """
+
+    def __init__(self, *args: object) -> None:
+        super().__init__(*args)
+        self.touches = 0
+
+    def __getitem__(self, key):  # type: ignore[override]
+        result = super().__getitem__(key)
+        if isinstance(key, slice):
+            self.touches += len(result)
+        else:
+            self.touches += 1
+        return result
+
+
+# -- DeltaProduct ------------------------------------------------------------
+
+
+def test_delta_product_unary_pass_cost_is_o_delta_at_10k() -> None:
+    stream = CountingList(range(10_000))
+    product = DeltaProduct([stream])
+
+    first = list(product.fresh())
+    assert len(first) == 10_000
+
+    stream.touches = 0
+    stream.extend(range(10_000, 10_005))
+    delta = list(product.fresh())
+    assert delta == [(v,) for v in range(10_000, 10_005)]
+    # The pass read only the five new values, not the 10^4 accumulated ones.
+    assert stream.touches <= 5
+
+
+def test_delta_product_binary_pass_cost_is_o_new_tuples() -> None:
+    left = CountingList(f"l{i}" for i in range(100))
+    right = CountingList(range(100))
+    product = DeltaProduct([left, right])
+
+    first = list(product.fresh())
+    assert len(first) == 10_000  # the full 100 x 100 product once
+
+    left.touches = right.touches = 0
+    left.append("l100")
+    delta = list(product.fresh())
+    assert len(delta) == 100  # the new left value against every right value
+    assert set(delta) == {("l100", v) for v in range(100)}
+    # Work is charged to the 100 new tuples (2 coordinates each), never to
+    # a rescan of the 10^4 existing ones.
+    assert left.touches + right.touches <= 2 * len(delta) + 4
+
+    # A pass with no new values is O(1): only length checks, no reads.
+    left.touches = right.touches = 0
+    assert list(product.fresh()) == []
+    assert left.touches + right.touches == 0
+
+
+def test_delta_product_covers_product_exactly_once_under_interleaving() -> None:
+    left: list = []
+    right: list = []
+    product = DeltaProduct([left, right])
+    emitted: list = []
+    for step in range(40):
+        if step % 2 == 0:
+            left.append(f"l{step}")
+        if step % 3 == 0:
+            right.append(step)
+        emitted.extend(product.fresh())
+    assert len(emitted) == len(set(emitted)) == len(left) * len(right)
+    assert set(emitted) == {(lv, rv) for lv in left for rv in right}
+
+
+# -- CacheBindingGenerator ---------------------------------------------------
+
+
+def _fan_generator() -> tuple:
+    """A fan cache fed from a seed cache's output position, on a fresh db."""
+    schema = Schema.from_signatures(
+        {"seed": ("oo", ["A", "B"]), "fan": ("ioo", ["B", "C", "D"])}
+    )
+    db = CacheDatabase()
+    db.create_cache("seed_hat", schema["seed"], position=1)
+    cache = CachePredicate(
+        name="fan_hat",
+        source_id="fan#1",
+        relation=schema["fan"],
+        occurrence=1,
+        atom_index=1,
+        position=2,
+        providers=(
+            ProviderSpec(
+                cache_name="fan_hat",
+                input_position=0,
+                predicate="dom_fan_0",
+                conjunctive=False,
+                origins=(("seed_hat", 1),),
+            ),
+        ),
+    )
+    db.create_cache("fan_hat", schema["fan"], position=2)
+    return CacheBindingGenerator(cache, db), db.cache("seed_hat")
+
+
+def test_binding_generator_reads_only_the_provider_log_delta_at_10k() -> None:
+    generator, seed_table = _fan_generator()
+
+    # Make the origin's value log a counting backend, then feed 10^4 rows.
+    counting = CountingList(seed_table._value_logs[1])
+    seed_table._value_logs[1] = counting
+    seed_table.add_all(("k", f"v{i}") for i in range(10_000))
+
+    first = list(generator.fresh_bindings())
+    assert len(first) == 10_000
+    assert set(first) == {(f"v{i}",) for i in range(10_000)}
+
+    counting.touches = 0
+    seed_table.add_all(("k", f"w{i}") for i in range(10))
+    delta = list(generator.fresh_bindings())
+    assert set(delta) == {(f"w{i}",) for i in range(10)}
+    # The pull read only the ten new log entries, not the 10^4 old ones.
+    assert counting.touches <= 10
+
+    # A quiescent pass reads nothing at all.
+    counting.touches = 0
+    assert list(generator.fresh_bindings()) == []
+    assert counting.touches == 0
+
+
+def test_binding_generator_never_reissues_a_binding() -> None:
+    generator, seed_table = _fan_generator()
+    issued: list = []
+    for batch in range(50):
+        seed_table.add_all((f"k{batch}", f"v{batch}_{i}") for i in range(20))
+        issued.extend(generator.fresh_bindings())
+    assert len(issued) == len(set(issued)) == 50 * 20
+
+
+# -- batched delivery vs. the monotone clock ---------------------------------
+
+
+def test_batched_tick_delivery_preserves_monotone_clock() -> None:
+    """Same-tick completions are delivered in batches without ever letting
+    the kernel's clock run backwards (the kernel raises if it does)."""
+    example = wide_fanout_example()
+    with Engine(example.schema, example.instance, latency=0.01) as engine:
+        result = engine.execute(example.query_text, strategy="distillation")
+    assert result.answers == example.expected_answers
+
+    # The uniform latency makes whole fan-out waves finish on the same
+    # simulated tick: batching must actually kick in...
+    profile = result.kernel_profile
+    assert profile is not None
+    assert profile.completions >= result.total_accesses
+    assert profile.completion_batches <= profile.completions
+    assert profile.max_batch > 1
+    # ...and the access log, written in delivery order, must carry
+    # non-decreasing completion times (the monotone-clock invariant).
+    times = [record.simulated_time for record in result.access_log]
+    assert times == sorted(times)
+
+
+def test_kernel_profile_phases_cover_the_run() -> None:
+    example = wide_fanout_example()
+    with Engine(example.schema, example.instance) as engine:
+        result = engine.execute(example.query_text, strategy="distillation")
+        stats = engine.session_stats()
+    profile = result.kernel_profile
+    assert profile is not None
+    assert profile.runs == 1
+    assert profile.offer_passes > 0 and profile.dispatch_steps > 0
+    assert profile.answer_checks == profile.incremental_checks + profile.full_checks
+    payload = profile.to_dict()
+    assert set(payload["timings_seconds"]) == {
+        "offer",
+        "dispatch",
+        "absorb",
+        "answer_check",
+    }
+    # The session aggregates per-run profiles under stats()["kernel"].
+    assert stats["kernel"]["runs"] >= 1
+    assert stats["kernel"]["counters"]["completions"] >= result.total_accesses
+
+
+# -- scale-tier scenario generators ------------------------------------------
+
+
+def test_zipf_fanout_example_answers_match_across_strategies() -> None:
+    example = zipf_fanout_example(keys=10, fan_rows=120)
+    for strategy in ("naive", "fast_fail", "distillation"):
+        with Engine(example.schema, example.instance) as engine:
+            result = engine.execute(example.query_text, strategy=strategy)
+        assert result.answers == example.expected_answers, strategy
+
+
+def test_deep_cycle_minimal_plan_skips_the_ring() -> None:
+    example = deep_cycle_example(size=200, seeds=2, hops=3)
+    with Engine(example.schema, example.instance) as engine:
+        minimal = engine.execute(example.query_text, strategy="fast_fail")
+    with Engine(example.schema, example.instance) as engine:
+        naive = engine.execute(example.query_text, strategy="naive")
+    assert minimal.answers == naive.answers == example.expected_answers
+    # The GFP proves the ring feedback unnecessary: the minimal plan walks
+    # seeds + hops accesses while the naive baseline pumps the whole ring.
+    assert minimal.total_accesses <= 2 + 2 * 3
+    assert naive.total_accesses > example.instance.total_tuples() // 2
+
+
+def test_ucq_workload_union_and_shared_prefix() -> None:
+    ucq = ucq_fanout_workload(keys=5, fan_rows=40, branches=2)
+    with Engine(ucq.schema, ucq.instance) as engine:
+        union: set = set()
+        per_branch = []
+        for text in ucq.branch_queries:
+            result = engine.execute(text, strategy="fast_fail")
+            union |= result.answers
+            per_branch.append(result.total_accesses)
+    assert union == set(ucq.expected_union)
+    # Branches after the first reuse the shared seed/fan prefix through the
+    # session meta-caches instead of re-accessing the sources.
+    assert all(later < per_branch[0] for later in per_branch[1:])
