@@ -26,7 +26,12 @@ The run doubles as an equivalence suite:
 * a multi-query throughput pass replays a mixed scenario stream over one
   engine session, sequentially and with ``Engine.execute_many``
   concurrency, reporting QPS and the session meta-cache hit rate and
-  asserting that concurrent answers/access counts are deterministic.
+  asserting that concurrent answers/access counts are deterministic;
+* a serving pass starts the HTTP front end (:mod:`repro.serve`)
+  in-process and drives it with the open-loop load generator — healthy
+  (zero errors, zero degraded) and fault-injected (zero 5xx, positive
+  degraded rate, zero complete-but-wrong answers) — recording latency
+  percentiles and goodput in the report's ``serving`` section.
 
 ``--smoke`` runs the two smallest chain workloads plus all the
 equivalence/throughput passes — the CI benchmark-smoke job.
@@ -888,6 +893,66 @@ def bench_scale(smoke: bool) -> Dict[str, object]:
     return entry
 
 
+def bench_serving(smoke: bool) -> Dict[str, object]:
+    """The serving front end under open-loop load, healthy and faulty.
+
+    Two passes against an in-process :class:`repro.serve.ServeHandle`
+    over a deterministic mixed workload:
+
+    * *healthy*: every response must be a verified-complete 200 — zero
+      transport/5xx errors, zero degraded results, zero mismatches;
+    * *fault-injected*: sources flake hard enough to exhaust the retry
+      budget on some requests, and the gate is the degradation contract —
+      still zero 5xx (failures surface as honest ``complete: false``
+      partial results), a strictly positive degraded rate, and zero
+      complete-but-wrong answers.
+
+    Records p50/p95/p99 latency, goodput (verified-complete answers/s)
+    and the status/degraded/rejected breakdown for both passes.
+    """
+    from repro.serve import LoadTestConfig, ServeConfig, ServeHandle, run_loadtest
+
+    mix = ("star", "chain") if smoke else ("star", "diamond", "chain")
+    workload = mixed_workload(mix, repeat=1)
+    rate = 20.0 if smoke else 40.0
+    duration = 1.5 if smoke else 4.0
+
+    def run_pass(schedule: FaultSchedule | None) -> Dict[str, object]:
+        registry = SourceRegistry(workload.instance)
+        overrides: Dict[str, object] = {"share_session_cache": False}
+        if schedule is not None:
+            registry.inject_faults(schedule)
+            overrides["retry"] = RetryPolicy(max_attempts=2, base_delay=0.0)
+        config = ServeConfig(execute_overrides=overrides)
+        with ServeHandle(Engine(workload.schema, registry), config) as handle:
+            report = run_loadtest(
+                LoadTestConfig(
+                    url=handle.url,
+                    rate=rate,
+                    duration=duration,
+                    stream_fraction=0.25,
+                    tenants=2,
+                ),
+                workload,
+            )
+        assert report.errors == 0, "the server must never turn load into 5xx"
+        assert report.mismatches == 0, "complete responses must carry correct answers"
+        return report.to_dict()
+
+    healthy = run_pass(None)
+    assert healthy["degraded"] == 0, "healthy sources must yield complete answers"
+    assert healthy["good"] == healthy["requests"]
+    faulty = run_pass(FaultSchedule(seed=5, transient_rate=0.8, timeout_rate=0.4))
+    assert faulty["degraded"] > 0, "injected faults must surface as degraded results"
+    return {
+        "workload": workload.name,
+        "offered_rate": rate,
+        "duration_seconds": duration,
+        "healthy": healthy,
+        "fault_injected": faulty,
+    }
+
+
 def workloads(smoke: bool) -> List[Example]:
     chains = CHAIN_CONFIGURATIONS[:2] if smoke else CHAIN_CONFIGURATIONS
     examples = [chain_example(length=length, width=width) for length, width in chains]
@@ -1048,6 +1113,19 @@ def main(argv: List[str] | None = None) -> int:
             f"({ucq_run['session_meta_hits']} meta hits, shared prefix verified)"
         )
 
+    serving_entry = bench_serving(args.smoke)
+    healthy_run = serving_entry["healthy"]  # type: ignore[index]
+    faulty_run = serving_entry["fault_injected"]  # type: ignore[index]
+    print(
+        f"serving on {serving_entry['workload']}: "
+        f"{healthy_run['requests']} requests at {serving_entry['offered_rate']}/s — "
+        f"p50 {healthy_run['latency']['p50'] * 1000:.1f}ms, "
+        f"p99 {healthy_run['latency']['p99'] * 1000:.1f}ms, "
+        f"goodput {healthy_run['goodput']:.1f}/s; with faults: "
+        f"degraded {faulty_run['degraded_rate']:.0%}, errors {faulty_run['errors']} "
+        f"(5xx stays zero)"
+    )
+
     cache_entry = bench_cache_tier()
     cold_run = cache_entry["cold"]  # type: ignore[index]
     warm_run = cache_entry["warm"]  # type: ignore[index]
@@ -1077,6 +1155,7 @@ def main(argv: List[str] | None = None) -> int:
         "optimizer": optimizer_entry,
         "fault_tolerance": fault_entry,
         "cache_tier": cache_entry,
+        "serving": serving_entry,
         "kernel_profile": profile_entry,
     }
     if scale_entry is not None:

@@ -54,6 +54,14 @@ from repro.sources.resilience import (
     RetryStats,
 )
 from repro.sources.wrapper import SourceRegistry
+from repro.serve import (
+    LoadTestConfig,
+    LoadTestReport,
+    QueryServer,
+    ServeConfig,
+    ServeHandle,
+    run_loadtest,
+)
 
 __version__ = "0.2.0"
 
@@ -75,7 +83,10 @@ __all__ = [
     "FlakyBackend",
     "HTTPBackend",
     "InMemoryBackend",
+    "LoadTestConfig",
+    "LoadTestReport",
     "PreparedPlan",
+    "QueryServer",
     "RelationSchema",
     "ReproError",
     "ResilienceConfig",
@@ -84,6 +95,8 @@ __all__ = [
     "RetryStats",
     "SQLiteBackend",
     "Schema",
+    "ServeConfig",
+    "ServeHandle",
     "SourceBackend",
     "SourceBreakdown",
     "SourceRegistry",
@@ -96,6 +109,7 @@ __all__ = [
     "parse_query",
     "register_strategy",
     "resolve_strategy",
+    "run_loadtest",
     "unregister_strategy",
     "__version__",
 ]

@@ -550,6 +550,104 @@ def _command_workload(args: argparse.Namespace) -> int:
         return 0
 
 
+def _serve_workload_registry(args: argparse.Namespace):
+    """The (workload, registry) pair `serve` exposes and `loadtest` verifies.
+
+    Both commands build the same deterministic :func:`mixed_workload` from
+    ``--mix``/``--repeat``, so the load generator knows every query's
+    fault-free answers without talking to the server out of band.
+    """
+    mix = tuple(filter(None, (name.strip() for name in args.mix.split(","))))
+    workload = mixed_workload(mix, repeat=args.repeat)
+    registry = SourceRegistry(
+        workload.instance,
+        latency=args.latency,
+        backend=args.backend,
+        real_latency=args.backend_latency,
+    )
+    if getattr(args, "fail", None):
+        registry.inject_faults(parse_fail_spec(args.fail))
+    return workload, registry
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Serve queries over one shared engine session until SIGTERM."""
+    from repro.serve import ServeConfig, serve_forever
+
+    workload, registry = _serve_workload_registry(args)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        strategy=args.strategy,
+        concurrency=args.concurrency,
+        max_in_flight=args.max_in_flight,
+        optimizer=args.optimizer,
+        max_concurrent=args.max_concurrent,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        tenant_budget=args.tenant_budget,
+        drain_timeout=args.drain_timeout,
+        execute_overrides=_resilience_overrides(args),
+    )
+    with Engine(workload.schema, registry, cache=_cache_config(args)) as engine:
+        try:
+            asyncio.run(serve_forever(engine, config))
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def _command_loadtest(args: argparse.Namespace) -> int:
+    """Open-loop load generation against a live `repro serve` process."""
+    from repro.serve import LoadTestConfig, run_loadtest
+
+    mix = tuple(filter(None, (name.strip() for name in args.mix.split(","))))
+    workload = mixed_workload(mix, repeat=args.repeat)
+    rate, duration = args.rate, args.duration
+    if args.smoke:
+        # CI preset: short and gentle, then gate hard on health.
+        rate = min(rate, 20.0)
+        duration = min(duration, 3.0)
+    config = LoadTestConfig(
+        url=args.url,
+        rate=rate,
+        duration=duration,
+        stream_fraction=args.stream_fraction,
+        tenants=args.tenants,
+        strategy=args.strategy,
+        timeout=args.timeout,
+    )
+    report = run_loadtest(config, workload)
+    if args.json:
+        payload = report.to_dict()
+        payload["workload"] = workload.name
+        payload["url"] = args.url
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"open-loop load test of {args.url} over {workload.name}")
+        print(report.describe())
+    if report.mismatches:
+        print("error: complete results with wrong answers", file=sys.stderr)
+        return 1
+    if args.smoke:
+        # The CI gate: a healthy server under gentle load serves zero 5xx
+        # (degraded-but-honest 200s are fine) and keeps p99 under budget.
+        if report.errors:
+            print(
+                f"error: smoke gate failed: {report.errors} 5xx/transport errors",
+                file=sys.stderr,
+            )
+            return 1
+        if report.latency["p99"] > args.p99_budget:
+            print(
+                f"error: smoke gate failed: p99 {report.latency['p99']:.3f}s "
+                f"exceeds budget {args.p99_budget:.3f}s",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _command_serve_fixture(args: argparse.Namespace) -> int:
     """Serve a scenario/workload's sources over the HTTP lookup protocol."""
     if args.example:
@@ -718,6 +816,198 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     workload_parser.set_defaults(handler=_command_workload)
+
+    serve_front_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "serve conjunctive queries over HTTP from one shared engine "
+            "session (POST /query, POST /query/stream, GET /metrics, "
+            "GET /healthz); prints its URL on stdout and drains gracefully "
+            "on SIGTERM"
+        ),
+    )
+    serve_front_parser.add_argument(
+        "--mix",
+        default="star,diamond,chain",
+        metavar="NAMES",
+        help=(
+            f"comma-separated scenario names ({', '.join(sorted(SCENARIOS))}) "
+            "whose merged sources this server queries; default: star,diamond,chain"
+        ),
+    )
+    serve_front_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="rounds of each scenario's query in the canonical stream (default: 1)",
+    )
+    serve_front_parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: 127.0.0.1)"
+    )
+    serve_front_parser.add_argument(
+        "--port", type=int, default=0, help="port to bind (default: 0 = ephemeral)"
+    )
+    serve_front_parser.add_argument(
+        "--strategy",
+        "-s",
+        default="fast_fail",
+        help=f"default strategy for POST /query ({', '.join(available_strategies())})",
+    )
+    serve_front_parser.add_argument(
+        "--concurrency",
+        choices=("simulated", "async"),
+        default="async",
+        help=(
+            "default dispatch mode per query; 'async' (default) overlaps "
+            "source accesses on the server loop, 'simulated' is "
+            "deterministic but steps inline"
+        ),
+    )
+    serve_front_parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bound on simultaneously in-flight accesses per query (default: 64)",
+    )
+    serve_front_parser.add_argument(
+        "--optimizer",
+        choices=("structural", "cost"),
+        default="structural",
+        help="default access-order optimizer (default: structural)",
+    )
+    serve_front_parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=16,
+        metavar="N",
+        help="admission control: queries executing at once before 429s (default: 16)",
+    )
+    serve_front_parser.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help="per-tenant token-bucket rate limit in requests/s (default: off)",
+    )
+    serve_front_parser.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="per-tenant burst capacity (default: max(1, rate))",
+    )
+    serve_front_parser.add_argument(
+        "--tenant-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="lifetime source-access budget per tenant (default: unlimited)",
+    )
+    serve_front_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="how long shutdown waits for in-flight queries (default: 5)",
+    )
+    _add_backend_argument(serve_front_parser)
+    serve_front_parser.add_argument(
+        "--backend-latency",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="real injected latency per lookup for the callable backend",
+    )
+    serve_front_parser.add_argument(
+        "--latency", type=float, default=0.0, help="simulated per-access latency (seconds)"
+    )
+    _add_resilience_arguments(serve_front_parser)
+    _add_cache_arguments(serve_front_parser)
+    serve_front_parser.set_defaults(handler=_command_serve)
+
+    loadtest_parser = subparsers.add_parser(
+        "loadtest",
+        help=(
+            "open-loop load generator against a live `repro serve` URL; "
+            "reports p50/p95/p99 latency, goodput and degraded/error rates"
+        ),
+    )
+    loadtest_parser.add_argument(
+        "--url", required=True, metavar="URL", help="server base URL (http://HOST:PORT)"
+    )
+    loadtest_parser.add_argument(
+        "--mix",
+        default="star,diamond,chain",
+        metavar="NAMES",
+        help="scenario mix — must match the server's --mix (default: star,diamond,chain)",
+    )
+    loadtest_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="rounds of each scenario's query in the stream (default: 1)",
+    )
+    loadtest_parser.add_argument(
+        "--rate",
+        type=float,
+        default=20.0,
+        metavar="QPS",
+        help="open-loop arrival rate in requests/s (default: 20)",
+    )
+    loadtest_parser.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="seconds of arrivals (default: 5)",
+    )
+    loadtest_parser.add_argument(
+        "--stream-fraction",
+        type=float,
+        default=0.25,
+        metavar="F",
+        help="fraction of requests sent to /query/stream (default: 0.25)",
+    )
+    loadtest_parser.add_argument(
+        "--tenants",
+        type=int,
+        default=1,
+        metavar="N",
+        help="round-robin requests over N X-Tenant headers t0..tN-1 (default: 1)",
+    )
+    loadtest_parser.add_argument(
+        "--strategy",
+        "-s",
+        default=None,
+        help="strategy to request per query (default: the server's default)",
+    )
+    loadtest_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request client timeout (default: 30)",
+    )
+    loadtest_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "CI preset: cap rate/duration, then exit 1 on any 5xx/transport "
+            "error or p99 above --p99-budget"
+        ),
+    )
+    loadtest_parser.add_argument(
+        "--p99-budget",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="p99 latency gate used with --smoke (default: 2.0)",
+    )
+    loadtest_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    loadtest_parser.set_defaults(handler=_command_loadtest)
 
     serve_parser = subparsers.add_parser(
         "serve-fixture",

@@ -48,6 +48,12 @@ class PreparedPlan:
     #: The runtime kernel's per-phase profile of the most recent execution
     #: (None before any run; see :class:`repro.runtime.profile.KernelProfile`).
     last_kernel_profile: Optional[object] = None
+    #: The normalized :class:`~repro.engine.result.Result` of the most recent
+    #: *streaming* execution, shaped after the stream is exhausted (None
+    #: before any stream, and when the consumer abandoned the stream before
+    #: the executor produced an outcome).  Servers streaming answers over a
+    #: wire read it to append an honest completeness trailer.
+    last_stream_result: Optional[Result] = None
     #: Lazily computed canonical key for the query-result cache tier.
     _result_key: Optional[str] = None
 

@@ -146,13 +146,23 @@ class Result:
         return [breakdown.relation for breakdown in self.per_source]
 
     # -- rendering -----------------------------------------------------------
-    def to_dict(self, include_profile: bool = False) -> Dict[str, object]:
-        """JSON-serializable view (used by the CLI and the benchmarks).
+    def to_dict(
+        self, include_profile: bool = False, include_timings: bool = True
+    ) -> Dict[str, object]:
+        """JSON-serializable view (used by the CLI, the server and benchmarks).
 
         ``include_profile=True`` adds the kernel's per-phase profile under
         ``"profile"``.  It is opt-in because the profile carries wall-clock
         timings, which would make the otherwise-deterministic payload vary
         from run to run (the equivalence suites fingerprint this dict).
+
+        ``include_timings=False`` drops every clock-derived field
+        (``elapsed_seconds``, ``simulated_latency``, ``time_to_first_answer``,
+        per-source latencies, retry backoff): under async dispatch those are
+        wall-clock measurements, so two identical executions differ in them.
+        What remains is a function of the query, data and fault schedule
+        alone — the serving front end uses this so identical queries get
+        byte-identical responses.
         """
         payload: Dict[str, object] = {
             "strategy": self.strategy,
@@ -164,19 +174,26 @@ class Result:
                     "relation": breakdown.relation,
                     "accesses": breakdown.accesses,
                     "distinct_rows": breakdown.distinct_rows,
-                    "simulated_latency": breakdown.simulated_latency,
+                    **(
+                        {"simulated_latency": breakdown.simulated_latency}
+                        if include_timings
+                        else {}
+                    ),
                 }
                 for breakdown in self.per_source
             ],
-            "elapsed_seconds": self.elapsed_seconds,
-            "simulated_latency": self.simulated_latency,
-            "time_to_first_answer": self.time_to_first_answer,
             "failed_at_position": self.failed_at_position,
             "complete": self.complete,
             "failed_relations": list(self.failed_relations),
             "retry_stats": self.retry_stats.to_dict(),
             "result_cache_hit": self.result_cache_hit,
         }
+        if include_timings:
+            payload["elapsed_seconds"] = self.elapsed_seconds
+            payload["simulated_latency"] = self.simulated_latency
+            payload["time_to_first_answer"] = self.time_to_first_answer
+        else:
+            payload["retry_stats"].pop("backoff_seconds", None)  # type: ignore[union-attr]
         if self.optimizer_report is not None:
             payload["optimizer"] = self.optimizer_report.to_dict()  # type: ignore[attr-defined]
         if include_profile and self.kernel_profile is not None:

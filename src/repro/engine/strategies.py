@@ -41,7 +41,10 @@ def _breakdown(
     """
     entries: List[SourceBreakdown] = []
     total_latency = 0.0
-    for relation, (accesses, rows) in log.per_relation_summary().items():
+    # The log's per-relation summary iterates in first-access order, which
+    # under concurrent dispatch varies run to run; the breakdown is sorted
+    # so identical executions always serialize to identical payloads.
+    for relation, (accesses, rows) in sorted(log.per_relation_summary().items()):
         latency = registry.latency_of(relation, default_latency)
         simulated = accesses * latency
         total_latency += simulated
@@ -386,6 +389,8 @@ class DistillationStrategy(ExecutionStrategy):
         log = AccessLog()
         optimizer = _optimizer_for(prepared, options)
         executor = self._executor(prepared, options, optimizer)
+        started = time.perf_counter()
+        prepared.last_stream_result = None
         try:
             yield from executor.stream(
                 cache_db=_session_cache_db(prepared, options), log=log
@@ -400,7 +405,14 @@ class DistillationStrategy(ExecutionStrategy):
                 default_latency=options.default_latency,
                 kernel_profile=last.kernel_profile if last is not None else None,
             )
-            if optimizer is not None:
+            if last is not None:
+                # Shape the stream's outcome as a normalized Result so wire
+                # protocols can report completeness after the last answer
+                # (this also refreshes last_optimizer_report/_kernel_profile).
+                prepared.last_stream_result = self._shape(
+                    prepared, options, last, log, time.perf_counter() - started, optimizer
+                )
+            elif optimizer is not None:
                 prepared.last_optimizer_report = optimizer.report(log)
 
     async def astream(
@@ -410,6 +422,8 @@ class DistillationStrategy(ExecutionStrategy):
         log = AccessLog()
         optimizer = _optimizer_for(prepared, options)
         executor = self._executor(prepared, options, optimizer)
+        started = time.perf_counter()
+        prepared.last_stream_result = None
         try:
             async for answer in executor.astream(
                 cache_db=_session_cache_db(prepared, options), log=log
@@ -424,5 +438,9 @@ class DistillationStrategy(ExecutionStrategy):
                 default_latency=options.default_latency,
                 kernel_profile=last.kernel_profile if last is not None else None,
             )
-            if optimizer is not None:
+            if last is not None:
+                prepared.last_stream_result = self._shape(
+                    prepared, options, last, log, time.perf_counter() - started, optimizer
+                )
+            elif optimizer is not None:
                 prepared.last_optimizer_report = optimizer.report(log)

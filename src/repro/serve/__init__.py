@@ -1,0 +1,45 @@
+"""The serving front end: an asyncio HTTP service over one engine session.
+
+::
+
+    from repro.serve import QueryServer, ServeConfig, ServeHandle
+
+    engine = Engine(workload.schema, registry)
+    with ServeHandle(engine, ServeConfig(max_concurrent=8)) as handle:
+        status, body = asyncio.run(
+            protocol.request_json(handle.url, "POST", "/query",
+                                  {"query": "q(X) <- w0_r(X, Y)"})
+        )
+
+``python -m repro serve`` runs it as a process; ``python -m repro
+loadtest`` drives it with an open-loop generator.  See
+:mod:`repro.serve.server` for the endpoint contract and
+:mod:`repro.serve.admission` for the admission gates.
+"""
+
+from repro.serve.admission import AdmissionController, Rejection, TokenBucket
+from repro.serve.loadtest import (
+    LoadTestConfig,
+    LoadTestReport,
+    arun_loadtest,
+    run_loadtest,
+)
+from repro.serve.metrics import LatencyHistogram, ServerMetrics, SourceHealthBoard
+from repro.serve.server import QueryServer, ServeConfig, ServeHandle, serve_forever
+
+__all__ = [
+    "AdmissionController",
+    "LatencyHistogram",
+    "LoadTestConfig",
+    "LoadTestReport",
+    "QueryServer",
+    "Rejection",
+    "ServeConfig",
+    "ServeHandle",
+    "ServerMetrics",
+    "SourceHealthBoard",
+    "TokenBucket",
+    "arun_loadtest",
+    "run_loadtest",
+    "serve_forever",
+]

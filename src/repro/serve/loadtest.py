@@ -1,0 +1,258 @@
+"""Open-loop load generation against a live query server.
+
+Closed-loop benchmarks (issue, wait, issue) let a slow server set its own
+pace and hide queueing delay; an *open-loop* generator fires request ``i``
+at ``start + i/rate`` regardless of what happened to requests ``0..i-1``,
+which is how real traffic arrives and is the methodology the latency
+percentiles here assume.  Each request uses a fresh connection, so there
+is no head-of-line blocking between samples.
+
+The query stream cycles through a :func:`repro.examples.mixed_workload`
+(the same deterministic generator ``python -m repro serve --mix ...``
+builds its sources from), so every response is verifiable: a result
+claiming ``complete`` must equal the scenario's fault-free answers.
+*Goodput* is therefore not "2xx per second" but verified-complete-correct
+answers per second — degraded (honestly incomplete) and incorrect
+responses don't count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.examples import MixedWorkload
+from repro.serve import protocol
+
+
+@dataclass
+class LoadTestConfig:
+    """One load-test run's shape."""
+
+    url: str
+    rate: float = 20.0  # requests per second (open loop)
+    duration: float = 5.0  # seconds of arrivals
+    stream_fraction: float = 0.25  # of requests sent to /query/stream
+    tenants: int = 1  # round-robin X-Tenant: t0, t1, ...
+    strategy: Optional[str] = None  # None = server default
+    timeout: float = 30.0  # per-request client timeout
+
+
+@dataclass
+class Sample:
+    """One request's outcome."""
+
+    status: int  # HTTP status; 0 = transport error
+    latency: float
+    complete: bool = False
+    correct: bool = False
+    answers: int = 0
+    streamed: bool = False
+    error: Optional[str] = None
+
+
+@dataclass
+class LoadTestReport:
+    """Aggregated outcome of one open-loop run."""
+
+    requests: int
+    wall_seconds: float
+    offered_rate: float
+    achieved_rate: float
+    statuses: Dict[str, int]
+    latency: Dict[str, float]  # p50/p95/p99/max/mean over successful requests
+    goodput: float  # verified complete+correct responses per second
+    good: int
+    degraded: int  # honest partial results (200, complete: false)
+    rejected: int  # 429s
+    errors: int  # 5xx + transport failures
+    mismatches: int  # complete results whose answers were wrong
+    samples: List[Sample] = field(default_factory=list, repr=False)
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.requests if self.requests else 0.0
+
+    @property
+    def degraded_rate(self) -> float:
+        return self.degraded / self.requests if self.requests else 0.0
+
+    @property
+    def rejected_rate(self) -> float:
+        return self.rejected / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "offered_rate": round(self.offered_rate, 3),
+            "achieved_rate": round(self.achieved_rate, 3),
+            "statuses": dict(sorted(self.statuses.items())),
+            "latency": self.latency,
+            "goodput": round(self.goodput, 3),
+            "good": self.good,
+            "degraded": self.degraded,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "mismatches": self.mismatches,
+            "error_rate": round(self.error_rate, 4),
+            "degraded_rate": round(self.degraded_rate, 4),
+            "rejected_rate": round(self.rejected_rate, 4),
+        }
+
+    def describe(self) -> str:
+        lat = self.latency
+        lines = [
+            f"{self.requests} requests in {self.wall_seconds:.2f}s "
+            f"(offered {self.offered_rate:.1f}/s, achieved {self.achieved_rate:.1f}/s)",
+            f"latency p50 {lat['p50'] * 1000:.1f}ms  p95 {lat['p95'] * 1000:.1f}ms  "
+            f"p99 {lat['p99'] * 1000:.1f}ms  max {lat['max'] * 1000:.1f}ms",
+            f"goodput {self.goodput:.1f}/s ({self.good} verified-complete answers)",
+            f"degraded {self.degraded} ({self.degraded_rate:.1%})  "
+            f"rejected(429) {self.rejected} ({self.rejected_rate:.1%})  "
+            f"errors {self.errors} ({self.error_rate:.1%})",
+        ]
+        if self.mismatches:
+            lines.append(f"MISMATCHES: {self.mismatches} complete results were wrong")
+        statuses = ", ".join(f"{code}: {count}" for code, count in sorted(self.statuses.items()))
+        lines.append(f"statuses: {statuses}")
+        return "\n".join(lines)
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values) + 0.999999) - 1))
+    return sorted_values[rank]
+
+
+def _expected(workload: MixedWorkload, index: int) -> Tuple[str, frozenset]:
+    query = workload.queries[index % len(workload.queries)]
+    return query.text, query.expected_answers
+
+
+async def _one_request(
+    config: LoadTestConfig, workload: MixedWorkload, index: int, streamed: bool
+) -> Sample:
+    text, expected = _expected(workload, index)
+    headers = {"X-Tenant": f"t{index % config.tenants}"} if config.tenants else {}
+    payload: Dict[str, object] = {"query": text}
+    if config.strategy is not None:
+        payload["strategy"] = config.strategy
+    started = time.perf_counter()
+    try:
+        if streamed:
+            rows: List[object] = []
+            summary: Dict[str, object] = {}
+            status = 0
+            async for item in protocol.stream_lines(
+                config.url, "/query/stream", payload, headers, timeout=config.timeout
+            ):
+                if isinstance(item, int):
+                    status = item
+                elif isinstance(item, dict) and "row" in item:
+                    rows.append(tuple(item["row"]))
+                elif isinstance(item, dict) and "summary" in item:
+                    summary = item["summary"]  # type: ignore[assignment]
+            latency = time.perf_counter() - started
+            complete = bool(summary.get("complete"))
+            answers = frozenset(rows)
+            return Sample(
+                status=status,
+                latency=latency,
+                complete=complete,
+                correct=complete
+                and answers == frozenset(tuple(row) for row in expected),
+                answers=len(rows),
+                streamed=True,
+            )
+        status, body = await protocol.request_json(
+            config.url,
+            "POST",
+            "/query",
+            payload,
+            headers,
+            timeout=config.timeout,
+        )
+        latency = time.perf_counter() - started
+        complete = bool(body.get("complete")) if status == 200 else False
+        answers = (
+            frozenset(tuple(row) for row in body.get("answers", []))
+            if status == 200
+            else frozenset()
+        )
+        return Sample(
+            status=status,
+            latency=latency,
+            complete=complete,
+            correct=complete and answers == frozenset(tuple(row) for row in expected),
+            answers=len(answers),
+        )
+    except (ConnectionError, OSError, ValueError, asyncio.TimeoutError) as error:
+        return Sample(
+            status=0,
+            latency=time.perf_counter() - started,
+            error=f"{type(error).__name__}: {error}",
+            streamed=streamed,
+        )
+
+
+async def arun_loadtest(
+    config: LoadTestConfig, workload: MixedWorkload
+) -> LoadTestReport:
+    """Fire the open-loop schedule and aggregate the samples."""
+    total = max(1, int(config.rate * config.duration))
+    # Every Nth request streams, spread evenly through the schedule.
+    stream_every = int(1 / config.stream_fraction) if config.stream_fraction > 0 else 0
+    start = time.perf_counter()
+
+    async def fire(index: int) -> Sample:
+        arrival = start + index / config.rate
+        delay = arrival - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        streamed = stream_every > 0 and index % stream_every == stream_every - 1
+        return await _one_request(config, workload, index, streamed)
+
+    samples = list(await asyncio.gather(*(fire(i) for i in range(total))))
+    wall = time.perf_counter() - start
+    statuses: Dict[str, int] = {}
+    for sample in samples:
+        key = str(sample.status) if sample.status else "transport_error"
+        statuses[key] = statuses.get(key, 0) + 1
+    ok_latencies = sorted(s.latency for s in samples if s.status == 200)
+    good = sum(1 for s in samples if s.status == 200 and s.correct)
+    degraded = sum(1 for s in samples if s.status == 200 and not s.complete)
+    mismatches = sum(1 for s in samples if s.status == 200 and s.complete and not s.correct)
+    rejected = sum(1 for s in samples if s.status == 429)
+    errors = sum(1 for s in samples if s.status == 0 or s.status >= 500)
+    return LoadTestReport(
+        requests=total,
+        wall_seconds=wall,
+        offered_rate=config.rate,
+        achieved_rate=total / wall if wall > 0 else 0.0,
+        statuses=statuses,
+        latency={
+            "p50": round(_percentile(ok_latencies, 0.50), 6),
+            "p95": round(_percentile(ok_latencies, 0.95), 6),
+            "p99": round(_percentile(ok_latencies, 0.99), 6),
+            "max": round(ok_latencies[-1], 6) if ok_latencies else 0.0,
+            "mean": round(sum(ok_latencies) / len(ok_latencies), 6)
+            if ok_latencies
+            else 0.0,
+        },
+        goodput=good / wall if wall > 0 else 0.0,
+        good=good,
+        degraded=degraded,
+        rejected=rejected,
+        errors=errors,
+        mismatches=mismatches,
+        samples=samples,
+    )
+
+
+def run_loadtest(config: LoadTestConfig, workload: MixedWorkload) -> LoadTestReport:
+    """Synchronous entry point: run the open loop on a private event loop."""
+    return asyncio.run(arun_loadtest(config, workload))

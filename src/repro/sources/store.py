@@ -909,6 +909,21 @@ class SQLiteCacheStore(CacheStore):
             if self._closed:
                 return
             self._closed = True
+            # Release any claims this claimant still holds: a claim that
+            # outlives its process would wedge peer workers on the same store
+            # until the stale-claim deadline.
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+                try:
+                    self._conn.execute(
+                        "DELETE FROM claims WHERE claimant = ?", (self.claimant,)
+                    )
+                    self._conn.execute("COMMIT")
+                except BaseException:
+                    self._conn.execute("ROLLBACK")
+                    raise
+            except sqlite3.Error:  # pragma: no cover - disk teardown races
+                pass
             self._conn.close()
 
 

@@ -22,7 +22,11 @@ per-relation latencies, then asserts:
 * executing with ``concurrency="async"`` — over memory, SQLite, callable
   and loopback-HTTP backends, fault-free or with retried transient
   faults — matches the simulated dispatcher's answers and access counts
-  exactly (the dispatcher is a scheduler, never a semantics).
+  exactly (the dispatcher is a scheduler, never a semantics);
+* serving over the HTTP front end (:mod:`repro.serve`) — sync and
+  streaming, fault-free or with recoverable injected faults — returns
+  payloads identical to in-process ``execute()`` for all three strategies
+  (the server is a transport, never a semantics).
 
 The fixed-seed subset runs in CI; the full sweep is `pytest -m slow`.
 """
@@ -348,6 +352,97 @@ def check_async_faulty_equivalence(seed: int) -> None:
         )
 
 
+def check_served_equivalence(seed: int) -> None:
+    """Serving over HTTP is a transport, never a semantics.
+
+    One :class:`~repro.serve.ServeHandle` per generated scenario; for every
+    strategy, the served ``POST /query`` payload must equal the in-process
+    ``execute().to_dict(include_timings=False)`` byte for byte, and the
+    streamed answers must be the same set with the same summary.  The
+    server executes with ``share_session_cache=False`` so each request is
+    independent, mirroring the fresh-engine baselines.
+
+    The faulty pass reuses the recoverable schedule of
+    :func:`check_async_faulty_equivalence` (deterministic per binding,
+    retries cover the consecutive-fault cap), so served and in-process
+    runs see identical faults and converge on identical payloads.  A
+    :class:`~repro.sources.resilience.FlakyBackend` burns its leading
+    faults statefully per registry, so every faulty comparison gets a
+    fresh server — a shared one would absorb the faults the in-process
+    baseline still sees.
+    """
+    import asyncio as _asyncio
+
+    from repro.serve import ServeConfig, ServeHandle, protocol
+
+    example, latencies = generate_case(seed)
+    schedule = FaultSchedule(seed=seed, transient_rate=0.25, max_consecutive=2)
+    retry = RetryPolicy(max_attempts=3, base_delay=0.0)
+
+    def handle_for(faults: bool) -> ServeHandle:
+        registry = _registry(example, latencies, "memory")
+        if faults:
+            registry.inject_faults(schedule)
+        overrides: Dict[str, object] = {"share_session_cache": False}
+        if faults:
+            overrides["retry"] = retry
+        return ServeHandle(
+            Engine(example.schema, registry),
+            ServeConfig(execute_overrides=overrides),
+        )
+
+    def baseline_for(faults: bool, strategy: str):
+        registry = _registry(example, latencies, "memory")
+        baseline_overrides: Dict[str, object] = {}
+        if faults:
+            registry.inject_faults(schedule)
+            baseline_overrides["retry"] = retry
+        return _execute(example, registry, strategy, **baseline_overrides)
+
+    for faults in (False, True):
+        for strategy in STRATEGIES:
+            baseline = baseline_for(faults, strategy)
+            with handle_for(faults) as handle:
+                status, body = _asyncio.run(
+                    protocol.request_json(
+                        handle.url,
+                        "POST",
+                        "/query",
+                        {"query": example.query_text, "strategy": strategy},
+                    )
+                )
+            assert status == 200, f"seed {seed}: served {strategy} -> {status}"
+            assert body == baseline.to_dict(include_timings=False), (
+                f"seed {seed}: served {strategy} payload diverged from "
+                f"in-process execute() on {example.name} (faults={faults})"
+            )
+
+        stream_baseline = baseline_for(faults, "distillation")
+        with handle_for(faults) as handle:
+
+            async def collect(url=None):
+                items = []
+                async for item in protocol.stream_lines(
+                    url or handle.url, "/query/stream", {"query": example.query_text}
+                ):
+                    items.append(item)
+                return items
+
+            items = _asyncio.run(collect(handle.url))
+        assert items[0] == 200
+        streamed = frozenset(tuple(item["row"]) for item in items[1:] if "row" in item)
+        summaries = [item["summary"] for item in items[1:] if "summary" in item]
+        assert streamed == stream_baseline.answers, (
+            f"seed {seed}: streamed answers diverged on {example.name} "
+            f"(faults={faults})"
+        )
+        assert len(summaries) == 1
+        assert summaries[0] == stream_baseline.to_dict(include_timings=False), (
+            f"seed {seed}: stream summary diverged on {example.name} "
+            f"(faults={faults})"
+        )
+
+
 def check_faulty_runs_hold_the_completeness_contract(seed: int) -> None:
     example, latencies = generate_case(seed)
     rng = random.Random(seed * 7919 + 1)
@@ -418,6 +513,11 @@ def test_fuzz_async_faulty_equivalence(seed: int) -> None:
     check_async_faulty_equivalence(seed)
 
 
+@pytest.mark.parametrize("seed", CI_SEEDS[:4])
+def test_fuzz_served_equivalence(seed: int) -> None:
+    check_served_equivalence(seed)
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", FULL_SEEDS)
 def test_fuzz_full_sweep(seed: int) -> None:
@@ -429,3 +529,4 @@ def test_fuzz_full_sweep(seed: int) -> None:
     check_async_dispatcher_equivalence(seed)
     check_async_http_equivalence(seed)
     check_async_faulty_equivalence(seed)
+    check_served_equivalence(seed)
